@@ -1,0 +1,101 @@
+// A3 — locality-aware scheduling ablation (paper section 3: integration
+// "can allow for better optimization in terms of data movement and access.
+// Data could be, in fact, kept in memory and moved to other nodes as the
+// workflow progresses").
+//
+// A pipeline of per-partition task chains moves large intermediates between
+// stages. With locality-aware placement each chain stays on the node that
+// holds its data; with round-robin placement every stage hop re-replicates
+// the intermediate. Rows report replica transfers, bytes moved and wall
+// time for both policies under a simulated interconnect cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "taskrt/runtime.hpp"
+
+namespace {
+
+using climate::taskrt::DataHandle;
+using climate::taskrt::In;
+using climate::taskrt::Out;
+using climate::taskrt::Runtime;
+using climate::taskrt::RuntimeOptions;
+using climate::taskrt::TaskContext;
+
+struct RunStats {
+  double wall_ms = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+};
+
+RunStats run_pipeline(bool locality_aware) {
+  constexpr std::size_t kPartitions = 8;
+  constexpr std::size_t kStages = 6;
+  constexpr std::size_t kBytes = 4 << 20;  // 4 MB intermediates
+
+  RuntimeOptions options;
+  options.workers = 4;
+  options.locality_aware = locality_aware;
+  options.transfer_ns_per_byte = 2.0;  // ~500 MB/s interconnect
+  Runtime rt(options);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    DataHandle data = rt.create_data(std::any(std::vector<float>(kBytes / 4, 1.0f)), kBytes);
+    for (std::size_t stage = 0; stage < kStages; ++stage) {
+      DataHandle next = rt.create_data();
+      rt.submit("stage", {In(data), Out(next)}, [](TaskContext& ctx) {
+        auto values = ctx.in_as<std::vector<float>>(0);
+        for (float& v : values) v *= 1.0001f;
+        const std::size_t bytes = values.size() * sizeof(float);
+        ctx.set_out(1, std::any(std::move(values)), bytes);
+      });
+      data = next;
+    }
+  }
+  rt.wait_all();
+  RunStats stats;
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  stats.transfers = rt.stats().transfers;
+  stats.bytes = rt.stats().bytes_transferred;
+  return stats;
+}
+
+void print_comparison() {
+  std::printf("=== A3: locality-aware vs round-robin task placement ===\n");
+  std::printf("8 partition chains x 6 stages, 4 MB intermediates, 4 nodes, "
+              "simulated 500 MB/s interconnect\n\n");
+  std::printf("%16s %12s %14s %12s\n", "policy", "transfers", "bytes moved", "wall [ms]");
+  const RunStats locality = run_pipeline(true);
+  const RunStats round_robin = run_pipeline(false);
+  std::printf("%16s %12llu %11.1f MB %12.0f\n", "locality-aware",
+              static_cast<unsigned long long>(locality.transfers),
+              static_cast<double>(locality.bytes) / (1024 * 1024), locality.wall_ms);
+  std::printf("%16s %12llu %11.1f MB %12.0f\n", "round-robin",
+              static_cast<unsigned long long>(round_robin.transfers),
+              static_cast<double>(round_robin.bytes) / (1024 * 1024), round_robin.wall_ms);
+  std::printf("\npaper shape: keeping data where it was produced eliminates most\n"
+              "inter-node replica traffic (%.1fx fewer bytes moved here), which is the\n"
+              "data-movement optimization the paper attributes to single-WMS\n"
+              "integration.\n\n",
+              static_cast<double>(round_robin.bytes) / std::max<std::uint64_t>(1, locality.bytes));
+}
+
+void BM_PipelineLocality(benchmark::State& state) {
+  for (auto _ : state) {
+    const RunStats stats = run_pipeline(state.range(0) != 0);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_PipelineLocality)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Minimal JSON value model with parser and serializer.
+//
+// Used by the HPCWaaS execution API (request/response payloads), the
+// workflow registry, and the container image manifests. Supports the full
+// JSON data model (null, bool, number, string, array, object) with UTF-8
+// strings passed through verbatim and \uXXXX escapes decoded to UTF-8.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace climate::common {
+
+/// A JSON document node. Value-semantic; nested containers are stored inline.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(int value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(std::int64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}  // NOLINT
+  Json(std::size_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}  // NOLINT
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}  // NOLINT
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}  // NOLINT
+  Json(Object value) : type_(Type::kObject), object_(std::move(value)) {}  // NOLINT
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(number_); }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  Array& as_array() { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  /// Object accessor; inserts a null member when absent (object only).
+  Json& operator[](const std::string& key);
+  /// Const object lookup; returns a shared null for missing keys.
+  const Json& operator[](const std::string& key) const;
+  /// Array element access.
+  Json& operator[](std::size_t index) { return array_[index]; }
+  const Json& operator[](std::size_t index) const { return array_[index]; }
+
+  bool contains(const std::string& key) const {
+    return is_object() && object_.find(key) != object_.end();
+  }
+  std::size_t size() const {
+    if (is_array()) return array_.size();
+    if (is_object()) return object_.size();
+    return 0;
+  }
+
+  void push_back(Json value) { array_.push_back(std::move(value)); }
+
+  /// Typed lookups with fallback; tolerate missing keys and wrong types.
+  std::string get_string(const std::string& key, const std::string& fallback = "") const;
+  double get_number(const std::string& key, double fallback = 0.0) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback = 0) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+  /// Pretty serialization with two-space indentation.
+  std::string dump_pretty() const;
+
+  /// Parses a JSON document. Trailing garbage is an error.
+  static Result<Json> parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace climate::common

@@ -1,0 +1,60 @@
+// Lightweight leveled logger shared by every module.
+//
+// Design notes: a single global sink guarded by a mutex is enough for this
+// codebase — logging is never on a hot path (the runtime and the datacube
+// only log at task/operator granularity). Levels can be raised globally to
+// silence output in tests and benchmarks.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace climate::common {
+
+/// Severity of a log record, ordered from most to least verbose.
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the short uppercase tag for a level ("INFO", "WARN", ...).
+std::string_view log_level_name(LogLevel level);
+
+/// Global minimum severity; records below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one record to stderr. Thread-safe. Prefer the LOG_* macros below.
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style log record builder; flushes on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  ~LogStream() { log_message(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace climate::common
+
+#define CLIMATE_LOG(level, component)                          \
+  if (static_cast<int>(level) < static_cast<int>(::climate::common::log_level())) { \
+  } else                                                       \
+    ::climate::common::LogStream(level, component)
+
+#define LOG_TRACE(component) CLIMATE_LOG(::climate::common::LogLevel::kTrace, component)
+#define LOG_DEBUG(component) CLIMATE_LOG(::climate::common::LogLevel::kDebug, component)
+#define LOG_INFO(component) CLIMATE_LOG(::climate::common::LogLevel::kInfo, component)
+#define LOG_WARN(component) CLIMATE_LOG(::climate::common::LogLevel::kWarn, component)
+#define LOG_ERROR(component) CLIMATE_LOG(::climate::common::LogLevel::kError, component)

@@ -1,0 +1,146 @@
+// Minimal error-handling vocabulary: Status (code + message) and Result<T>
+// (Status or value). C++20 has no std::expected, and exceptions across the
+// simulated client/server boundaries of the datacube and HPCWaaS layers would
+// hide failure paths the paper's stack surfaces explicitly (task failures,
+// deployment errors), so those APIs return Result.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace climate::common {
+
+/// Canonical error categories, loosely following the classic RPC set.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
+  kCancelled,
+  kDataLoss,
+};
+
+/// Returns a human-readable name for a code ("NOT_FOUND", ...).
+constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+/// A success/error outcome with an optional message.
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+  static Status Cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
+  static Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "CODE: message" rendering for logs and error strings.
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Thrown by Result<T>::value() when the result holds an error.
+class BadResultAccess : public std::runtime_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::runtime_error("Result access on error: " + status.to_string()) {}
+};
+
+/// Either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the value; throws BadResultAccess if this holds an error.
+  T& value() & {
+    if (!ok()) throw BadResultAccess(std::get<Status>(payload_));
+    return std::get<T>(payload_);
+  }
+  const T& value() const& {
+    if (!ok()) throw BadResultAccess(std::get<Status>(payload_));
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    if (!ok()) throw BadResultAccess(std::get<Status>(payload_));
+    return std::get<T>(std::move(payload_));
+  }
+
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace climate::common
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define CLIMATE_RETURN_IF_ERROR(expr)                      \
+  do {                                                     \
+    ::climate::common::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                             \
+  } while (0)

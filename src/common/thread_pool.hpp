@@ -1,0 +1,70 @@
+// Fixed-size thread pool with futures, used as the "compute node" substrate
+// by the task runtime, the datacube I/O servers, and the ESM decomposition.
+//
+// Each worker has a stable index (0..size-1) retrievable from inside a task
+// via ThreadPool::current_worker(), which the task runtime uses to model data
+// locality across simulated nodes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace climate::common {
+
+/// A fixed pool of worker threads consuming a FIFO queue of jobs.
+class ThreadPool {
+ public:
+  /// Starts `size` workers (at least 1).
+  explicit ThreadPool(std::size_t size);
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a callable; the returned future observes its result/exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Blocks until the queue is empty and all in-flight jobs finished.
+  void wait_idle();
+
+  /// Index of the pool worker running the calling thread, or -1 if the caller
+  /// is not a pool worker.
+  static int current_worker();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+  /// Exceptions from any iteration propagate to the caller (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace climate::common

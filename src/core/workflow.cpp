@@ -1,0 +1,951 @@
+#include "core/workflow.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+
+#include "common/image.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "datacube/client.hpp"
+#include "esm/diagnostics.hpp"
+#include "esm/model.hpp"
+#include "esm/writer.hpp"
+#include "ncio/ncfile.hpp"
+#include "taskrt/stream.hpp"
+
+namespace climate::core {
+
+namespace fs = std::filesystem;
+using taskrt::DataHandle;
+using taskrt::In;
+using taskrt::InOut;
+using taskrt::Out;
+using taskrt::TaskContext;
+using taskrt::TaskOptions;
+
+namespace {
+
+constexpr const char* kLogTag = "workflow";
+
+/// Patches of one six-hourly step, ready for inference.
+struct StepPatches {
+  int step = 0;
+  std::size_t grid_nlat = 0;  ///< Inference-grid size (after regridding).
+  std::size_t grid_nlon = 0;
+  std::vector<ml::TcPatch> patches;
+};
+
+// ---- checkpoint codecs -----------------------------------------------------
+
+void append_bytes(std::string& out, const void* data, std::size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void append_pod(std::string& out, const T& v) {
+  append_bytes(out, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::string& in, std::size_t* pos) {
+  T v{};
+  std::memcpy(&v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+
+/// Codec for common::Field outputs.
+taskrt::OutputCodec field_codec() {
+  taskrt::OutputCodec codec;
+  codec.serialize = [](const std::any& value) {
+    const auto& field = std::any_cast<const common::Field&>(value);
+    std::string out;
+    append_pod(out, static_cast<std::uint64_t>(field.nlat()));
+    append_pod(out, static_cast<std::uint64_t>(field.nlon()));
+    append_bytes(out, field.data().data(), field.data().size() * sizeof(float));
+    return out;
+  };
+  codec.deserialize = [](const std::string& in) -> std::any {
+    std::size_t pos = 0;
+    const auto nlat = read_pod<std::uint64_t>(in, &pos);
+    const auto nlon = read_pod<std::uint64_t>(in, &pos);
+    common::Field field(nlat, nlon);
+    std::memcpy(field.data().data(), in.data() + pos, nlat * nlon * sizeof(float));
+    return field;
+  };
+  return codec;
+}
+
+/// Codec for datacube PIDs: serializes the cube's contents and re-creates
+/// the cube server-side on restore, returning a fresh valid PID.
+taskrt::OutputCodec cube_codec(datacube::Server* server) {
+  taskrt::OutputCodec codec;
+  codec.serialize = [server](const std::any& value) {
+    const auto& pid = std::any_cast<const std::string&>(value);
+    auto cube = server->get(pid);
+    std::string out;
+    if (!cube.ok()) return out;
+    const datacube::CubeData& data = **cube;
+    auto append_string = [&](const std::string& s) {
+      append_pod(out, static_cast<std::uint64_t>(s.size()));
+      out += s;
+    };
+    auto append_dim = [&](const datacube::DimInfo& dim) {
+      append_string(dim.name);
+      append_pod(out, static_cast<std::uint64_t>(dim.size));
+      append_pod(out, static_cast<std::uint64_t>(dim.coords.size()));
+      append_bytes(out, dim.coords.data(), dim.coords.size() * sizeof(double));
+    };
+    append_string(data.measure);
+    append_pod(out, static_cast<std::uint64_t>(data.explicit_dims.size()));
+    for (const auto& dim : data.explicit_dims) append_dim(dim);
+    append_dim(data.implicit_dim);
+    const std::vector<float> dense = data.to_dense();
+    append_pod(out, static_cast<std::uint64_t>(dense.size()));
+    append_bytes(out, dense.data(), dense.size() * sizeof(float));
+    return out;
+  };
+  codec.deserialize = [server](const std::string& in) -> std::any {
+    std::size_t pos = 0;
+    auto read_string = [&] {
+      const auto n = read_pod<std::uint64_t>(in, &pos);
+      std::string s = in.substr(pos, n);
+      pos += n;
+      return s;
+    };
+    auto read_dim = [&] {
+      datacube::DimInfo dim;
+      dim.name = read_string();
+      dim.size = read_pod<std::uint64_t>(in, &pos);
+      const auto ncoords = read_pod<std::uint64_t>(in, &pos);
+      dim.coords.resize(ncoords);
+      std::memcpy(dim.coords.data(), in.data() + pos, ncoords * sizeof(double));
+      pos += ncoords * sizeof(double);
+      return dim;
+    };
+    const std::string measure = read_string();
+    const auto ndims = read_pod<std::uint64_t>(in, &pos);
+    std::vector<datacube::DimInfo> dims;
+    for (std::uint64_t d = 0; d < ndims; ++d) dims.push_back(read_dim());
+    datacube::DimInfo implicit = read_dim();
+    const auto nvalues = read_pod<std::uint64_t>(in, &pos);
+    std::vector<float> dense(nvalues);
+    std::memcpy(dense.data(), in.data() + pos, nvalues * sizeof(float));
+    auto pid = server->create_cube(measure, std::move(dims), std::move(implicit), dense,
+                                   "restored from checkpoint");
+    return pid.ok() ? std::any(*pid) : std::any(std::string());
+  };
+  return codec;
+}
+
+/// Reads a year of a daily 2D variable into dense (lat, lon | day) layout.
+std::vector<float> load_year_rows(const std::vector<std::string>& files,
+                                  const std::string& variable, std::size_t cells,
+                                  std::atomic<std::uint64_t>* files_read) {
+  std::vector<float> rows(cells * files.size());
+  for (std::size_t d = 0; d < files.size(); ++d) {
+    auto field = esm::read_daily_field(files[d], variable);
+    if (!field.ok()) {
+      throw std::runtime_error("load failed for " + files[d] + ": " + field.status().to_string());
+    }
+    if (files_read) files_read->fetch_add(1);
+    for (std::size_t c = 0; c < cells; ++c) {
+      rows[c * files.size() + d] = (*field)[c];
+    }
+  }
+  return rows;
+}
+
+/// Builds the (lat, lon) explicit dims + day implicit dim for year cubes.
+void year_cube_dims(const common::LatLonGrid& grid, std::size_t days,
+                    std::vector<datacube::DimInfo>* explicit_dims,
+                    datacube::DimInfo* implicit_dim) {
+  explicit_dims->clear();
+  explicit_dims->push_back({"lat", grid.nlat(), grid.lats()});
+  explicit_dims->push_back({"lon", grid.nlon(), grid.lons()});
+  implicit_dim->name = "day";
+  implicit_dim->size = days;
+  implicit_dim->coords.clear();
+}
+
+}  // namespace
+
+std::string case_study_topology_yaml() {
+  return R"(name: climate-extremes-case-study
+description: End-to-end climate extremes workflow (ESM + HPDA + ML)
+topology_template:
+  inputs:
+    years:
+      type: integer
+      default: 1
+    scenario:
+      type: string
+      default: ssp585
+  node_templates:
+    zeus_cluster:
+      type: eflows.nodes.Compute
+      properties:
+        cluster: zeus
+        arch: x86_64
+        mpi: openmpi4
+    esm_environment:
+      type: eflows.nodes.Software
+      properties:
+        base: ubuntu22.04
+        packages: cmcc-cm3, esmf, netcdf, openmpi
+      requirements:
+        - host: zeus_cluster
+    analytics_environment:
+      type: eflows.nodes.Software
+      properties:
+        base: ubuntu22.04
+        packages: pyophidia, ophidia-server, ophidia-io
+      requirements:
+        - host: zeus_cluster
+    ml_environment:
+      type: eflows.nodes.Software
+      properties:
+        base: ubuntu22.04
+        packages: tensorflow, keras, numpy
+      requirements:
+        - host: zeus_cluster
+    forcing_stage_in:
+      type: eflows.nodes.DataPipeline
+      properties:
+        pipeline: forcing_stage_in
+      requirements:
+        - host: zeus_cluster
+    extreme_events_workflow:
+      type: eflows.nodes.PyCOMPSsWorkflow
+      properties:
+        entry: extreme_events
+      requirements:
+        - host: zeus_cluster
+        - depends: esm_environment
+        - depends: analytics_environment
+        - depends: ml_environment
+        - depends: forcing_stage_in
+)";
+}
+
+Result<float> pretrain_tc_localizer(const esm::EsmConfig& base_config,
+                                    const std::string& weights_path, std::size_t patch,
+                                    int epochs, int train_days) {
+  // "Historical data": an independent run under the historical scenario with
+  // a different seed than any projection run.
+  esm::EsmConfig config = base_config;
+  config.scenario = esm::Scenario::kHistorical;
+  config.seed = base_config.seed ^ 0x8157081C;
+  config.start_year = 1995;
+
+  esm::ForcingTable forcing =
+      esm::ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  esm::EsmModel model(config, forcing);
+  const common::LatLonGrid& grid = model.grid();
+
+  std::vector<ml::TcPatch> training_set;
+  for (int day = 0; day < train_days; ++day) {
+    esm::DailyFields fields = model.run_day();
+    for (int s = 0; s < config.steps_per_day; ++s) {
+      const int step = day * config.steps_per_day + s;
+      std::vector<ml::TcPatch> patches = ml::make_patches(
+          fields.psl[static_cast<std::size_t>(s)], fields.wspd[static_cast<std::size_t>(s)],
+          fields.vort850[static_cast<std::size_t>(s)], fields.tas, patch);
+      // Ground-truth centres at this step, in grid coordinates.
+      std::vector<std::pair<double, double>> centers;
+      for (const esm::CycloneTruth& truth : model.events().cyclones) {
+        for (const esm::CycloneSample& sample : truth.track) {
+          if (sample.step == step) {
+            const double row = (sample.lat + 90.0) / 180.0 * static_cast<double>(grid.nlat()) - 0.5;
+            const double col = sample.lon / 360.0 * static_cast<double>(grid.nlon()) - 0.5;
+            centers.emplace_back(row, col);
+          }
+        }
+      }
+      ml::label_patches(patches, patch, centers);
+      // Keep all positives and a subsample of negatives for class balance.
+      std::size_t keep_negative = 0;
+      for (ml::TcPatch& p : patches) {
+        if (p.has_tc || (keep_negative++ % 7 == 0)) training_set.push_back(std::move(p));
+      }
+    }
+  }
+
+  std::size_t positives = 0;
+  for (const ml::TcPatch& p : training_set) positives += p.has_tc ? 1 : 0;
+  LOG_INFO(kLogTag) << "TC pretraining set: " << training_set.size() << " patches, " << positives
+                    << " positive";
+  if (positives == 0) {
+    return Status::FailedPrecondition("pretraining produced no positive patches");
+  }
+
+  ml::TcLocalizer localizer(patch, config.seed);
+  float loss = 0.0f;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    loss = localizer.train_epoch(training_set);
+  }
+  CLIMATE_RETURN_IF_ERROR(localizer.save(weights_path));
+  return loss;
+}
+
+ExtremeEventsWorkflow::ExtremeEventsWorkflow(WorkflowConfig config) : config_(std::move(config)) {}
+
+Result<WorkflowResults> ExtremeEventsWorkflow::run() {
+  const WorkflowConfig& cfg = config_;
+  if (cfg.output_dir.empty()) return Status::InvalidArgument("output_dir is required");
+  const std::string daily_dir = cfg.output_dir + "/daily";
+  const std::string indices_dir = cfg.output_dir + "/indices";
+  const std::string maps_dir = cfg.output_dir + "/maps";
+  std::error_code ec;
+  fs::create_directories(daily_dir, ec);
+  fs::create_directories(indices_dir, ec);
+  fs::create_directories(maps_dir, ec);
+
+  const common::LatLonGrid grid(cfg.esm.nlat, cfg.esm.nlon);
+  const int days = cfg.esm.days_per_year;
+  const std::size_t cells = grid.size();
+
+  // Shared services — declared before the Runtime so worker tasks can never
+  // outlive them.
+  datacube::Server dc_server(cfg.io_servers);
+  std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<std::uint64_t> files_read{0};
+
+  // Pre-trained CNN (section 5.4): loaded once, shared read-only by the
+  // inference tasks.
+  std::shared_ptr<ml::TcLocalizer> localizer;
+  bool ml_enabled = cfg.run_ml_tc && !cfg.tc_weights_path.empty();
+  if (ml_enabled) {
+    localizer = std::make_shared<ml::TcLocalizer>(cfg.tc_patch, cfg.esm.seed);
+    const Status st = localizer->load(cfg.tc_weights_path);
+    if (!st.ok()) {
+      LOG_WARN(kLogTag) << "cannot load TC weights (" << st.to_string()
+                        << "); disabling the ML pipeline";
+      ml_enabled = false;
+      localizer.reset();
+    }
+  }
+
+  // Inference grid: the paper regrids before tiling; half resolution keeps
+  // patches meaningful while bounding memory.
+  const std::size_t infer_nlat = (grid.nlat() / (2 * cfg.tc_patch)) * cfg.tc_patch;
+  const std::size_t infer_nlon = (grid.nlon() / (2 * cfg.tc_patch)) * cfg.tc_patch;
+
+  taskrt::RuntimeOptions rt_options;
+  rt_options.workers = cfg.workers;
+  rt_options.checkpoint_dir = cfg.checkpoint_dir;
+  rt_options.container_startup_ms = cfg.container_startup_ms;
+  if (cfg.heterogeneous) {
+    // Future-work deployment: dedicated node classes per requirement kind
+    // ("large HPC systems for the ESM simulation, data-oriented ... systems
+    // for Big Data processing and GPU-partitions for the ML-based models").
+    auto add_nodes = [&](std::size_t count, const char* prefix,
+                         std::set<std::string> tags) {
+      for (std::size_t i = 0; i < count; ++i) {
+        taskrt::NodeSpec spec;
+        spec.name = std::string(prefix) + std::to_string(i);
+        spec.cores = 1;
+        spec.tags = tags;
+        rt_options.nodes.push_back(std::move(spec));
+      }
+    };
+    add_nodes(std::max<std::size_t>(1, cfg.hpc_nodes), "hpc", {"hpc"});
+    add_nodes(std::max<std::size_t>(1, cfg.data_nodes), "data", {"data"});
+    add_nodes(std::max<std::size_t>(1, cfg.gpu_nodes), "gpu", {"gpu", "data"});
+  }
+  taskrt::Runtime rt(rt_options);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto task_options = [&](const std::string& key, taskrt::OutputCodec codec) {
+    TaskOptions options;
+    if (!cfg.checkpoint_dir.empty()) {
+      options.checkpoint_key = key;
+      options.codec = std::move(codec);
+    }
+    return options;
+  };
+  // Attaches the node-class constraint of a task family (heterogeneous mode).
+  auto constrain = [&](TaskOptions options, const char* tag) {
+    if (cfg.heterogeneous) options.constraints.insert(tag);
+    return options;
+  };
+  const double extra_ms = cfg.extra_task_cost_ms;
+  auto burn = [extra_ms](const TaskContext& ctx) {
+    if (extra_ms > 0) {
+      ctx.simulate_compute(std::chrono::nanoseconds(static_cast<std::int64_t>(extra_ms * 1e6)));
+    }
+  };
+
+  // ---- step 1-2: forcing through I/O, baselines into the datacube --------
+  DataHandle forcing_h = rt.create_data();
+  {
+    const std::string forcing_path = cfg.output_dir + "/forcing.nc";
+    const esm::EsmConfig esm_cfg = cfg.esm;
+    const int years = cfg.years;
+    rt.submit("load_forcing", {Out(forcing_h)}, [forcing_path, esm_cfg, years](TaskContext& ctx) {
+      // Write then read back: concentrations are "provided year by year
+      // through I/O" (section 4.2.3).
+      esm::ForcingTable table =
+          esm::ForcingTable::from_scenario(esm_cfg.scenario, esm_cfg.start_year, years + 1);
+      Status st = table.save(forcing_path);
+      if (!st.ok()) throw std::runtime_error(st.to_string());
+      auto loaded = esm::ForcingTable::load(forcing_path);
+      if (!loaded.ok()) throw std::runtime_error(loaded.status().to_string());
+      ctx.set_out(0, std::any(*loaded), 64);
+    });
+  }
+
+  DataHandle baseline_max_h = rt.create_data();
+  DataHandle baseline_min_h = rt.create_data();
+  {
+    const esm::EsmConfig esm_cfg = cfg.esm;
+    auto submit_baseline = [&](const char* name, DataHandle handle, bool warm) {
+      rt.submit(name, task_options(std::string(name), cube_codec(&dc_server)),
+                {Out(handle)}, [&dc_server, esm_cfg, warm, name](TaskContext& ctx) {
+                  const common::LatLonGrid g(esm_cfg.nlat, esm_cfg.nlon);
+                  // 20-year reference period climatology (analytic — the
+                  // model's noise-free expectation, zero GHG offset).
+                  extremes::Baseline baseline = extremes::Baseline::analytic(
+                      g, esm_cfg.days_per_year, esm_cfg.steps_per_day, 0.0);
+                  std::vector<datacube::DimInfo> dims;
+                  datacube::DimInfo implicit;
+                  year_cube_dims(g, static_cast<std::size_t>(esm_cfg.days_per_year), &dims,
+                                 &implicit);
+                  auto pid = dc_server.create_cube(
+                      warm ? "baseline_tasmax" : "baseline_tasmin", dims, implicit,
+                      warm ? baseline.tasmax_rows_by_day() : baseline.tasmin_rows_by_day(),
+                      std::string("baseline climatology: ") + name);
+                  if (!pid.ok()) throw std::runtime_error(pid.status().to_string());
+                  ctx.set_out(0, std::any(*pid), 64);
+                });
+    };
+    submit_baseline("load_baseline_heat", baseline_max_h, true);
+    submit_baseline("load_baseline_cold", baseline_min_h, false);
+  }
+
+  // ---- step 3: the ESM simulation, one chained task per year --------------
+  DataHandle model_h = rt.create_data(std::any(std::shared_ptr<esm::EsmModel>()));
+  const std::string diagnostics_dir = cfg.output_dir + "/diagnostics";
+  if (cfg.online_diagnostics) fs::create_directories(diagnostics_dir, ec);
+  for (int year = 0; year < cfg.years; ++year) {
+    const esm::EsmConfig esm_cfg = cfg.esm;
+    const std::string dir = daily_dir;
+    const bool diagnostics = cfg.online_diagnostics;
+    const std::string diag_dir = diagnostics_dir;
+    rt.submit("esm_simulation", constrain(TaskOptions{}, "hpc"),
+              {In(forcing_h), InOut(model_h)},
+              [esm_cfg, dir, year, diagnostics, diag_dir, &bytes_written](TaskContext& ctx) {
+                auto model = ctx.in_as<std::shared_ptr<esm::EsmModel>>(1);
+                if (!model) {
+                  const auto& forcing = ctx.in_as<esm::ForcingTable>(0);
+                  model = std::make_shared<esm::EsmModel>(esm_cfg, forcing);
+                }
+                const common::LatLonGrid& g = model->grid();
+                esm::DiagnosticsRecorder recorder;
+                int calendar_year = 0;
+                for (int day = 0; day < esm_cfg.days_per_year; ++day) {
+                  esm::DailyFields daily = model->run_day();
+                  calendar_year = daily.year;
+                  // Online diagnostics are computed while the fields are
+                  // still in memory, before the write (section 3).
+                  if (diagnostics) recorder.record(daily, g);
+                  const std::string path = esm::daily_filename(dir, daily.year, daily.day_of_year);
+                  const std::string tmp = path + ".part";
+                  auto bytes = esm::write_daily_file(tmp, daily, g);
+                  if (!bytes.ok()) throw std::runtime_error(bytes.status().to_string());
+                  std::error_code rename_ec;
+                  fs::rename(tmp, path, rename_ec);
+                  if (rename_ec) throw std::runtime_error("rename failed: " + rename_ec.message());
+                  bytes_written.fetch_add(*bytes);
+                }
+                if (diagnostics) {
+                  const Status st = recorder.save(diag_dir + "/diagnostics_" +
+                                                  std::to_string(calendar_year) + ".nc");
+                  if (!st.ok()) throw std::runtime_error(st.to_string());
+                }
+                ctx.set_out(1, std::any(model), 1 << 20);
+                (void)year;
+              });
+  }
+
+  // ---- per-year analysis sub-workflow -------------------------------------
+  struct YearHandles {
+    int year_index = 0;
+    DataHandle heat_max, heat_count, heat_freq;
+    DataHandle cold_max, cold_count, cold_freq;
+    DataHandle tracks;
+    DataHandle ml_fixes;
+    DataHandle validation;
+    DataHandle year_map;
+  };
+  std::vector<YearHandles> year_handles;
+
+  auto submit_year_analysis = [&](int year_index) {
+    const int calendar_year = cfg.esm.start_year + year_index;
+    std::vector<std::string> files;
+    for (int d = 0; d < days; ++d) files.push_back(esm::daily_filename(daily_dir, calendar_year, d));
+
+    YearHandles handles;
+    handles.year_index = year_index;
+    const std::string ytag = std::to_string(calendar_year);
+
+    // #4: the streaming year-detection task.
+    DataHandle files_raw = rt.create_data(std::any(files), files.size() * 64);
+    DataHandle files_h = rt.create_data();
+    rt.submit("year_ready", {In(files_raw), Out(files_h)}, [](TaskContext& ctx) {
+      ctx.set_out(1, ctx.in(0));
+    });
+
+    // #5/#6: load the year's tasmax/tasmin into cubes.
+    DataHandle tmax_h = rt.create_data();
+    DataHandle tmin_h = rt.create_data();
+    auto submit_load = [&](const char* name, DataHandle out_h, const char* variable) {
+      rt.submit(name,
+                constrain(task_options(std::string(name) + "@" + ytag, cube_codec(&dc_server)),
+                          "data"),
+                {In(files_h), Out(out_h)},
+                [&dc_server, &files_read, variable, cells, grid, days, burn,
+                 ytag](TaskContext& ctx) {
+                  burn(ctx);
+                  const auto& file_list = ctx.in_as<std::vector<std::string>>(0);
+                  std::vector<float> rows = load_year_rows(file_list, variable, cells, &files_read);
+                  std::vector<datacube::DimInfo> dims;
+                  datacube::DimInfo implicit;
+                  year_cube_dims(grid, static_cast<std::size_t>(days), &dims, &implicit);
+                  auto pid = dc_server.create_cube(variable, dims, implicit, rows,
+                                                   std::string(variable) + " year " + ytag);
+                  if (!pid.ok()) throw std::runtime_error(pid.status().to_string());
+                  ctx.set_out(1, std::any(*pid), rows.size() * sizeof(float));
+                });
+    };
+    submit_load("load_tmax", tmax_h, "tasmax");
+    submit_load("load_tmin", tmin_h, "tasmin");
+
+    // #7/#8: duration cubes (exceedance mask -> run lengths), Listing 1's
+    // upstream "duration" input. Inputs are deleted afterwards; the baseline
+    // stays in memory for every year (section 5.3's read-reduction point).
+    DataHandle heat_dur_h = rt.create_data();
+    DataHandle cold_dur_h = rt.create_data();
+    auto submit_duration = [&](const char* name, DataHandle temp_h, DataHandle baseline_h,
+                               DataHandle out_h, bool warm) {
+      rt.submit(name,
+                constrain(task_options(std::string(name) + "@" + ytag, cube_codec(&dc_server)),
+                          "data"),
+                {In(temp_h), In(baseline_h), Out(out_h)},
+                [&dc_server, warm, burn](TaskContext& ctx) {
+                  burn(ctx);
+                  datacube::Client client(dc_server);
+                  datacube::Cube temp = client.attach(ctx.in_as<std::string>(0));
+                  datacube::Cube baseline = client.attach(ctx.in_as<std::string>(1));
+                  auto diff = warm ? temp.intercube(baseline, "sub", "temp - baseline")
+                                   : baseline.intercube(temp, "sub", "baseline - temp");
+                  if (!diff.ok()) throw std::runtime_error(diff.status().to_string());
+                  auto mask = diff->apply(
+                      common::format("oph_predicate(measure, '>=%g', 1, 0)",
+                                     extremes::kWaveThresholdC),
+                      "wave-day mask");
+                  if (!mask.ok()) throw std::runtime_error(mask.status().to_string());
+                  auto duration = mask->apply(
+                      common::format("wave_duration(measure, %d)", extremes::kMinWaveDays),
+                      "duration cube");
+                  if (!duration.ok()) throw std::runtime_error(duration.status().to_string());
+                  (void)diff->del();
+                  (void)mask->del();
+                  (void)temp.del();  // input year cube no longer needed
+                  ctx.set_out(2, std::any(duration->pid()), 64);
+                });
+    };
+    submit_duration("heat_duration", tmax_h, baseline_max_h, heat_dur_h, true);
+    submit_duration("cold_duration", tmin_h, baseline_min_h, cold_dur_h, false);
+
+    // #9-#14: the six index tasks (Listing 1 shapes).
+    handles.heat_max = rt.create_data();
+    handles.heat_count = rt.create_data();
+    handles.heat_freq = rt.create_data();
+    handles.cold_max = rt.create_data();
+    handles.cold_count = rt.create_data();
+    handles.cold_freq = rt.create_data();
+    enum class IndexKind { kMax, kNumber, kFrequency };
+    auto submit_index = [&](const char* name, DataHandle duration_h, DataHandle out_h,
+                            IndexKind kind, const std::string& filename) {
+      rt.submit(
+          name, constrain(task_options(std::string(name) + "@" + ytag, field_codec()), "data"),
+          {In(duration_h), Out(out_h)},
+          [&dc_server, kind, filename, indices_dir, grid, days, burn](TaskContext& ctx) {
+            burn(ctx);
+            datacube::Client client(dc_server);
+            datacube::Cube duration = client.attach(ctx.in_as<std::string>(0));
+            datacube::Cube index;
+            switch (kind) {
+              case IndexKind::kMax: {
+                // Listing 1 IndexDurationMax.
+                auto cube = duration.reduce("max", 0, "Max Duration cube");
+                if (!cube.ok()) throw std::runtime_error(cube.status().to_string());
+                index = *cube;
+                break;
+              }
+              case IndexKind::kNumber: {
+                // Listing 1 IndexDurationNumber.
+                auto mask = duration.apply(
+                    "oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0')");
+                if (!mask.ok()) throw std::runtime_error(mask.status().to_string());
+                auto cube = mask->reduce("sum", 0, "Number of durations cube");
+                if (!cube.ok()) throw std::runtime_error(cube.status().to_string());
+                (void)mask->del();
+                index = *cube;
+                break;
+              }
+              case IndexKind::kFrequency: {
+                auto total = duration.reduce("sum", 0, "Total wave days cube");
+                if (!total.ok()) throw std::runtime_error(total.status().to_string());
+                auto cube = total->apply(common::format("measure / %d", days),
+                                         "Wave frequency cube");
+                if (!cube.ok()) throw std::runtime_error(cube.status().to_string());
+                (void)total->del();
+                index = *cube;
+                break;
+              }
+            }
+            // Step 5: validated output stored on disk as NetCDF.
+            Status st = index.exportnc2(indices_dir, filename);
+            if (!st.ok()) throw std::runtime_error(st.to_string());
+            auto field = extremes::index_cube_to_field(index, grid);
+            if (!field.ok()) throw std::runtime_error(field.status().to_string());
+            (void)index.del();
+            ctx.set_out(1, std::any(*field), field->size() * sizeof(float));
+          });
+    };
+    submit_index("heat_index_max", heat_dur_h, handles.heat_max, IndexKind::kMax,
+                 "heat_wave_duration_" + ytag);
+    submit_index("heat_index_number", heat_dur_h, handles.heat_count, IndexKind::kNumber,
+                 "heat_wave_number_" + ytag);
+    submit_index("heat_index_frequency", heat_dur_h, handles.heat_freq, IndexKind::kFrequency,
+                 "heat_wave_frequency_" + ytag);
+    submit_index("cold_index_max", cold_dur_h, handles.cold_max, IndexKind::kMax,
+                 "cold_wave_duration_" + ytag);
+    submit_index("cold_index_number", cold_dur_h, handles.cold_count, IndexKind::kNumber,
+                 "cold_wave_number_" + ytag);
+    submit_index("cold_index_frequency", cold_dur_h, handles.cold_freq, IndexKind::kFrequency,
+                 "cold_wave_frequency_" + ytag);
+
+    // #15/#16: the ML TC pipeline, chunked across the year.
+    std::vector<DataHandle> chunk_fixes;
+    if (ml_enabled) {
+      const int chunk_days = std::max(1, std::min(cfg.tc_chunk_days, days));
+      const int steps_per_day = cfg.esm.steps_per_day;
+      const std::size_t patch = cfg.tc_patch;
+      for (int begin = 0; begin < days; begin += chunk_days) {
+        const int end = std::min(days, begin + chunk_days);
+        DataHandle patches_h = rt.create_data();
+        rt.submit("tc_preprocess", constrain(TaskOptions{}, "data"), {In(files_h), Out(patches_h)},
+                  [begin, end, steps_per_day, patch, infer_nlat, infer_nlon, &files_read,
+                   burn](TaskContext& ctx) {
+                    burn(ctx);
+                    const auto& file_list = ctx.in_as<std::vector<std::string>>(0);
+                    auto chunk = std::make_shared<std::vector<StepPatches>>();
+                    for (int d = begin; d < end; ++d) {
+                      const std::string& path = file_list[static_cast<std::size_t>(d)];
+                      auto psl = esm::read_daily_steps(path, "psl");
+                      auto wspd = esm::read_daily_steps(path, "wspd");
+                      auto vort = esm::read_daily_steps(path, "vort850");
+                      auto tas = esm::read_daily_field(path, "tas");
+                      if (!psl.ok() || !wspd.ok() || !vort.ok() || !tas.ok()) {
+                        throw std::runtime_error("tc_preprocess read failed for " + path);
+                      }
+                      files_read.fetch_add(1);
+                      // Regrid to the inference grid (paper step i).
+                      const common::Field tas_rg =
+                          common::regrid_bilinear(*tas, infer_nlat, infer_nlon);
+                      for (int s = 0; s < steps_per_day; ++s) {
+                        StepPatches sp;
+                        sp.step = d * steps_per_day + s;
+                        sp.grid_nlat = infer_nlat;
+                        sp.grid_nlon = infer_nlon;
+                        const auto su = static_cast<std::size_t>(s);
+                        sp.patches = ml::make_patches(
+                            common::regrid_bilinear((*psl)[su], infer_nlat, infer_nlon),
+                            common::regrid_bilinear((*wspd)[su], infer_nlat, infer_nlon),
+                            common::regrid_bilinear((*vort)[su], infer_nlat, infer_nlon), tas_rg,
+                            patch);
+                        chunk->push_back(std::move(sp));
+                      }
+                    }
+                    const std::size_t bytes =
+                        chunk->empty() ? 64
+                                       : chunk->size() * chunk->front().patches.size() *
+                                             patch * patch * ml::kTcChannels * sizeof(float);
+                    ctx.set_out(1, std::any(chunk), bytes);
+                  });
+
+        DataHandle fixes_h = rt.create_data();
+        const double threshold = cfg.tc_threshold;
+        rt.submit("tc_inference", constrain(TaskOptions{}, "gpu"), {In(patches_h), Out(fixes_h)},
+                  [localizer, threshold, patch, burn](TaskContext& ctx) {
+                    burn(ctx);
+                    const auto& chunk =
+                        ctx.in_as<std::shared_ptr<std::vector<StepPatches>>>(0);
+                    std::vector<extremes::DetectionFix> fixes;
+                    for (const StepPatches& sp : *chunk) {
+                      const auto outputs = localizer->infer(sp.patches);
+                      for (std::size_t i = 0; i < sp.patches.size(); ++i) {
+                        if (outputs[i].presence < threshold) continue;
+                        // Geo-referencing (paper step iii).
+                        const double row =
+                            static_cast<double>(sp.patches[i].row0) +
+                            static_cast<double>(outputs[i].row_frac) * static_cast<double>(patch);
+                        const double col =
+                            static_cast<double>(sp.patches[i].col0) +
+                            static_cast<double>(outputs[i].col_frac) * static_cast<double>(patch);
+                        const double lat =
+                            -90.0 + (row + 0.5) * 180.0 / static_cast<double>(sp.grid_nlat);
+                        const double lon = (col + 0.5) * 360.0 / static_cast<double>(sp.grid_nlon);
+                        fixes.push_back({sp.step, lat, lon});
+                      }
+                    }
+                    ctx.set_out(1, std::any(fixes), fixes.size() * sizeof(extremes::DetectionFix));
+                  });
+        chunk_fixes.push_back(fixes_h);
+      }
+    }
+
+    // #17: per-year geo-referenced aggregation of the ML detections.
+    handles.ml_fixes = rt.create_data();
+    {
+      std::vector<taskrt::Param> params;
+      for (DataHandle h : chunk_fixes) params.push_back(In(h));
+      params.push_back(Out(handles.ml_fixes));
+      const std::size_t nchunks = chunk_fixes.size();
+      rt.submit("tc_georeference", constrain(TaskOptions{}, "data"), params,
+                [nchunks](TaskContext& ctx) {
+        std::vector<extremes::DetectionFix> all;
+        for (std::size_t c = 0; c < nchunks; ++c) {
+          const auto& fixes = ctx.in_as<std::vector<extremes::DetectionFix>>(c);
+          all.insert(all.end(), fixes.begin(), fixes.end());
+        }
+        ctx.set_out(nchunks, std::any(all), all.size() * sizeof(extremes::DetectionFix));
+      });
+    }
+
+    // Deterministic TC tracking (validation path of section 5.4).
+    handles.tracks = rt.create_data();
+    if (cfg.run_deterministic_tc) {
+      const int steps_per_day = cfg.esm.steps_per_day;
+      rt.submit("tc_deterministic_tracking", constrain(TaskOptions{}, "data"),
+                {In(files_h), Out(handles.tracks)},
+                [grid, steps_per_day, &files_read, burn](TaskContext& ctx) {
+                  burn(ctx);
+                  const auto& file_list = ctx.in_as<std::vector<std::string>>(0);
+                  extremes::TrackerCriteria criteria;
+                  std::vector<std::vector<extremes::TcCandidate>> per_step;
+                  for (std::size_t d = 0; d < file_list.size(); ++d) {
+                    auto psl = esm::read_daily_steps(file_list[d], "psl");
+                    auto wspd = esm::read_daily_steps(file_list[d], "wspd");
+                    auto vort = esm::read_daily_steps(file_list[d], "vort850");
+                    if (!psl.ok() || !wspd.ok() || !vort.ok()) {
+                      throw std::runtime_error("tracker read failed for " + file_list[d]);
+                    }
+                    files_read.fetch_add(1);
+                    int day_of_run = 0;
+                    auto reader = ncio::FileReader::open(file_list[d]);
+                    if (reader.ok()) {
+                      auto attr = reader->attr("", "day_of_run");
+                      if (attr.ok()) day_of_run = static_cast<int>(std::get<std::int64_t>(*attr));
+                    }
+                    for (std::size_t s = 0; s < psl->size(); ++s) {
+                      const int step = day_of_run * steps_per_day + static_cast<int>(s);
+                      per_step.push_back(extremes::detect_candidates((*psl)[s], (*wspd)[s],
+                                                                     (*vort)[s], grid, step,
+                                                                     criteria));
+                    }
+                  }
+                  std::vector<extremes::TcTrack> tracks =
+                      extremes::link_tracks(per_step, steps_per_day, criteria);
+                  ctx.set_out(1, std::any(tracks), tracks.size() * 256);
+                });
+    } else {
+      rt.submit("tc_deterministic_tracking", {Out(handles.tracks)}, [](TaskContext& ctx) {
+        ctx.set_out(0, std::any(std::vector<extremes::TcTrack>{}));
+      });
+    }
+
+    // Step 5: validation + storage summary for the year (also frees the
+    // duration cubes once every index task consumed them).
+    handles.validation = rt.create_data();
+    rt.submit("validate_store", constrain(TaskOptions{}, "data"),
+              {In(handles.heat_max), In(handles.heat_count), In(handles.heat_freq),
+               In(handles.cold_max), In(handles.cold_count), In(handles.cold_freq),
+               In(handles.ml_fixes), In(handles.tracks), In(heat_dur_h), In(cold_dur_h),
+               Out(handles.validation)},
+              [&dc_server, calendar_year, days](TaskContext& ctx) {
+                const auto& heat_count = ctx.in_as<common::Field>(1);
+                const auto& cold_count = ctx.in_as<common::Field>(4);
+                const auto& fixes = ctx.in_as<std::vector<extremes::DetectionFix>>(6);
+                const auto& tracks = ctx.in_as<std::vector<extremes::TcTrack>>(7);
+                (void)dc_server.delete_cube(ctx.in_as<std::string>(8));
+                (void)dc_server.delete_cube(ctx.in_as<std::string>(9));
+
+                // Cross-validation: how many ML fixes lie near a
+                // deterministic track fix of the same step?
+                std::size_t agreeing = 0;
+                for (const extremes::DetectionFix& fix : fixes) {
+                  for (const extremes::TcTrack& track : tracks) {
+                    bool matched = false;
+                    for (const extremes::TcCandidate& c : track.fixes) {
+                      if (c.step == fix.step &&
+                          common::great_circle_km(c.lat, c.lon, fix.lat, fix.lon) < 500.0) {
+                        ++agreeing;
+                        matched = true;
+                        break;
+                      }
+                    }
+                    if (matched) break;
+                  }
+                }
+                Json summary = Json::object();
+                summary["year"] = calendar_year;
+                summary["days"] = days;
+                summary["heat_wave_mean_count"] = heat_count.mean();
+                summary["cold_wave_mean_count"] = cold_count.mean();
+                summary["ml_fixes"] = fixes.size();
+                summary["deterministic_tracks"] = tracks.size();
+                summary["ml_fixes_confirmed_by_tracker"] = agreeing;
+                ctx.set_out(10, std::any(summary), 256);
+              });
+
+    // Step 6 (intermediate): the year's Heat Wave Number map (Figure 4).
+    handles.year_map = rt.create_data();
+    {
+      const std::string map_path =
+          maps_dir + "/heat_wave_number_" + ytag + ".pgm";
+      rt.submit("render_year_map", constrain(TaskOptions{}, "data"),
+                {In(handles.heat_count), Out(handles.year_map)},
+                [map_path](TaskContext& ctx) {
+                  const auto& count = ctx.in_as<common::Field>(0);
+                  const Status st = common::write_pgm(map_path, count, 0.0f, count.max());
+                  if (!st.ok()) throw std::runtime_error(st.to_string());
+                  ctx.set_out(1, std::any(map_path), map_path.size());
+                });
+    }
+
+    year_handles.push_back(handles);
+  };
+
+  // ---- drive the run -------------------------------------------------------
+  if (cfg.streaming) {
+    // Streaming interface (section 5.2): watch the output directory and fire
+    // each year's analysis the moment its last daily file lands.
+    taskrt::DataStream year_stream;
+    std::mutex count_mutex;
+    std::map<int, int> files_per_year;
+    const int days_per_year = days;
+    const int start_year = cfg.esm.start_year;
+    taskrt::DirectoryWatcher watcher(
+        daily_dir, ".nc",
+        [&](const std::string& path) {
+          int year = 0, doy = 0;
+          if (!esm::parse_daily_filename(path, &year, &doy)) return;
+          std::lock_guard<std::mutex> lock(count_mutex);
+          if (++files_per_year[year] == days_per_year) {
+            year_stream.publish(std::any(year - start_year));
+          }
+        },
+        std::chrono::milliseconds(5));
+
+    for (int received = 0; received < cfg.years; ++received) {
+      std::optional<std::any> event = year_stream.next();
+      if (!event) break;
+      const int year_index = std::any_cast<int>(*event);
+      LOG_INFO(kLogTag) << "year " << (cfg.esm.start_year + year_index)
+                        << " complete; launching analysis";
+      submit_year_analysis(year_index);
+    }
+    rt.wait_all();
+    watcher.stop();
+  } else {
+    // Staged baseline: simulate everything, then analyse.
+    (void)rt.sync(model_h);
+    for (int year = 0; year < cfg.years; ++year) submit_year_analysis(year);
+    rt.wait_all();
+  }
+
+  // ---- step 6 (final): multi-year mean map --------------------------------
+  WorkflowResults results;
+  {
+    common::Field mean_count(grid);
+    for (const YearHandles& handles : year_handles) {
+      const auto count = rt.sync_as<common::Field>(handles.heat_count);
+      for (std::size_t c = 0; c < mean_count.size(); ++c) mean_count[c] += count[c];
+    }
+    if (!year_handles.empty()) {
+      for (std::size_t c = 0; c < mean_count.size(); ++c) {
+        mean_count[c] /= static_cast<float>(year_handles.size());
+      }
+    }
+    DataHandle mean_h = rt.create_data(std::any(mean_count), mean_count.size() * sizeof(float));
+    DataHandle final_map_h = rt.create_data();
+    const std::string final_path = maps_dir + "/heat_wave_number_mean.pgm";
+    rt.submit("final_maps", {In(mean_h), Out(final_map_h)}, [final_path](TaskContext& ctx) {
+      const auto& mean = ctx.in_as<common::Field>(0);
+      const Status st = common::write_pgm(final_path, mean, 0.0f, std::max(1.0f, mean.max()));
+      if (!st.ok()) throw std::runtime_error(st.to_string());
+      ctx.set_out(1, std::any(final_path), final_path.size());
+    });
+    results.final_map_file = rt.sync_as<std::string>(final_map_h);
+  }
+
+  results.makespan_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  // ---- gather results ------------------------------------------------------
+  const auto model = rt.sync_as<std::shared_ptr<esm::EsmModel>>(model_h);
+  if (model) results.truth = model->events();
+
+  Json all_years = Json::array();
+  for (const YearHandles& handles : year_handles) {
+    YearResults year;
+    year.year = cfg.esm.start_year + handles.year_index;
+    year.heat.duration_max = rt.sync_as<common::Field>(handles.heat_max);
+    year.heat.count = rt.sync_as<common::Field>(handles.heat_count);
+    year.heat.frequency = rt.sync_as<common::Field>(handles.heat_freq);
+    year.cold.duration_max = rt.sync_as<common::Field>(handles.cold_max);
+    year.cold.count = rt.sync_as<common::Field>(handles.cold_count);
+    year.cold.frequency = rt.sync_as<common::Field>(handles.cold_freq);
+    year.tracks = rt.sync_as<std::vector<extremes::TcTrack>>(handles.tracks);
+    year.ml_fixes = rt.sync_as<std::vector<extremes::DetectionFix>>(handles.ml_fixes);
+    year.map_file = rt.sync_as<std::string>(handles.year_map);
+    const Json validation = rt.sync_as<Json>(handles.validation);
+    all_years.push_back(validation);
+
+    // Skill vs the injected ground truth.
+    year.ml_skill = extremes::score_detections(year.ml_fixes, results.truth.cyclones);
+    std::vector<extremes::DetectionFix> track_fixes;
+    for (const extremes::TcTrack& track : year.tracks) {
+      for (const extremes::TcCandidate& c : track.fixes) {
+        track_fixes.push_back({c.step, c.lat, c.lon});
+      }
+    }
+    year.tracker_skill = extremes::score_detections(track_fixes, results.truth.cyclones);
+    for (const char* prefix : {"heat_wave_duration_", "heat_wave_number_", "heat_wave_frequency_",
+                               "cold_wave_duration_", "cold_wave_number_", "cold_wave_frequency_"}) {
+      year.exported_files.push_back(indices_dir + "/" + prefix + std::to_string(year.year) + ".nc");
+    }
+    results.years.push_back(std::move(year));
+  }
+  results.summary = Json::object();
+  results.summary["years"] = std::move(all_years);
+  results.summary["bytes_written"] = static_cast<double>(bytes_written.load());
+  results.summary["files_read"] = static_cast<double>(files_read.load());
+
+  results.trace = rt.trace();
+  results.runtime_stats = rt.stats();
+  results.datacube_stats = dc_server.stats();
+  results.bytes_written = bytes_written.load();
+  return results;
+}
+
+}  // namespace climate::core

@@ -1,0 +1,99 @@
+#include "datacube/client.hpp"
+
+namespace climate::datacube {
+
+namespace {
+Result<Cube> wrap(Server* server, Result<std::string> pid) {
+  if (!pid.ok()) return pid.status();
+  return Cube(server, *pid);
+}
+
+Cube make_cube(Server* server, std::string pid) { return Cube(server, std::move(pid)); }
+}  // namespace
+
+Result<Cube> Cube::reduce(const std::string& op, std::size_t group,
+                          const std::string& description) const {
+  if (!valid()) return Status::FailedPrecondition("reduce on invalid cube");
+  auto parsed = parse_reduce_op(op);
+  if (!parsed.ok()) return parsed.status();
+  return wrap(server_, server_->reduce(pid_, *parsed, group, description));
+}
+
+Result<Cube> Cube::apply(const std::string& expression, const std::string& description) const {
+  if (!valid()) return Status::FailedPrecondition("apply on invalid cube");
+  return wrap(server_, server_->apply(pid_, expression, description));
+}
+
+Result<Cube> Cube::intercube(const Cube& other, const std::string& op,
+                             const std::string& description) const {
+  if (!valid() || !other.valid()) return Status::FailedPrecondition("intercube on invalid cube");
+  auto parsed = parse_inter_op(op);
+  if (!parsed.ok()) return parsed.status();
+  return wrap(server_, server_->intercube(pid_, other.pid_, *parsed, description));
+}
+
+Result<Cube> Cube::subset(const std::string& dim, std::size_t start, std::size_t end,
+                          const std::string& description) const {
+  if (!valid()) return Status::FailedPrecondition("subset on invalid cube");
+  return wrap(server_, server_->subset(pid_, dim, start, end, description));
+}
+
+Result<Cube> Cube::merge(const Cube& other, const std::string& description) const {
+  if (!valid() || !other.valid()) return Status::FailedPrecondition("merge on invalid cube");
+  return wrap(server_, server_->merge(pid_, other.pid_, description));
+}
+
+Result<Cube> Cube::concat(const Cube& other, const std::string& description) const {
+  if (!valid() || !other.valid()) return Status::FailedPrecondition("concat on invalid cube");
+  return wrap(server_, server_->concat_implicit(pid_, other.pid_, description));
+}
+
+Result<Cube> Cube::aggregate(const std::string& dim, const std::string& op,
+                             const std::string& description) const {
+  if (!valid()) return Status::FailedPrecondition("aggregate on invalid cube");
+  auto parsed = parse_reduce_op(op);
+  if (!parsed.ok()) return parsed.status();
+  return wrap(server_, server_->aggregate(pid_, dim, *parsed, description));
+}
+
+Status Cube::exportnc2(const std::string& output_path, const std::string& output_name) const {
+  if (!valid()) return Status::FailedPrecondition("exportnc2 on invalid cube");
+  std::string path = output_path;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += output_name;
+  if (path.size() < 3 || path.substr(path.size() - 3) != ".nc") path += ".nc";
+  return server_->exportnc(pid_, path);
+}
+
+Result<CubeSchema> Cube::schema() const {
+  if (!valid()) return Status::FailedPrecondition("schema on invalid cube");
+  return server_->cubeschema(pid_);
+}
+
+Result<std::vector<float>> Cube::values() const {
+  if (!valid()) return Status::FailedPrecondition("values on invalid cube");
+  return server_->fetch_dense(pid_);
+}
+
+Status Cube::del() const {
+  if (!valid()) return Status::FailedPrecondition("delete on invalid cube");
+  return server_->delete_cube(pid_);
+}
+
+Result<Cube> Client::importnc(const std::string& path, const std::string& variable,
+                              const ImportOptions& options) {
+  auto pid = server_->importnc(path, variable, options);
+  if (!pid.ok()) return pid.status();
+  return make_cube(server_, std::move(*pid));
+}
+
+Result<Cube> Client::create_cube(std::string measure, std::vector<DimInfo> explicit_dims,
+                                 DimInfo implicit_dim, const std::vector<float>& dense,
+                                 std::string description) {
+  auto pid = server_->create_cube(std::move(measure), std::move(explicit_dims),
+                                  std::move(implicit_dim), dense, std::move(description));
+  if (!pid.ok()) return pid.status();
+  return make_cube(server_, std::move(*pid));
+}
+
+}  // namespace climate::datacube

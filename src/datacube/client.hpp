@@ -1,0 +1,108 @@
+// Client-side bindings for the datacube framework — the PyOphidia
+// equivalent. Mirrors the session/Cube object model the paper's Listing 1
+// uses:
+//
+//   Client client(server);
+//   Cube tmax = client.importnc("day1.nc", "tmax");
+//   Cube max_duration = duration.reduce("max", "Max Duration cube");
+//   Cube mask = duration.apply("oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0')");
+//   Cube count = mask.reduce("sum", "Number of durations cube");
+//   count.exportnc2(output_path, output_name);
+//
+// Cube is a lightweight PID wrapper; all processing is dispatched to the
+// server and results stay server-side (in memory) until exported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datacube/server.hpp"
+
+namespace climate::datacube {
+
+class Client;
+
+/// Handle to one server-side datacube.
+class Cube {
+ public:
+  Cube() = default;
+  /// Binds to an existing server-side cube (normally obtained via Client).
+  Cube(Server* server, std::string pid) : server_(server), pid_(std::move(pid)) {}
+
+  const std::string& pid() const { return pid_; }
+  bool valid() const { return server_ != nullptr && !pid_.empty(); }
+
+  /// Reduce over the implicit dimension ("max","min","sum","avg","std",
+  /// "count"); group 0 collapses the whole array.
+  Result<Cube> reduce(const std::string& op, std::size_t group = 0,
+                      const std::string& description = "") const;
+
+  /// Apply an array expression (see datacube/expression.hpp).
+  Result<Cube> apply(const std::string& expression, const std::string& description = "") const;
+
+  /// Element-wise binary operation against another cube.
+  Result<Cube> intercube(const Cube& other, const std::string& op,
+                         const std::string& description = "") const;
+
+  /// Inclusive index-range subset of a dimension.
+  Result<Cube> subset(const std::string& dim, std::size_t start, std::size_t end,
+                      const std::string& description = "") const;
+
+  /// Concatenate along the first explicit dimension.
+  Result<Cube> merge(const Cube& other, const std::string& description = "") const;
+
+  /// Concatenate along the implicit (array) dimension.
+  Result<Cube> concat(const Cube& other, const std::string& description = "") const;
+
+  /// Collapse an explicit dimension with a reduction ("max","min","sum",
+  /// "avg","std","count") — spatial aggregation.
+  Result<Cube> aggregate(const std::string& dim, const std::string& op,
+                         const std::string& description = "") const;
+
+  /// Export to a CDF-lite file, PyOphidia exportnc2-style.
+  Status exportnc2(const std::string& output_path, const std::string& output_name) const;
+
+  /// Schema snapshot.
+  Result<CubeSchema> schema() const;
+
+  /// Dense row-major values (synchronizes data to the client).
+  Result<std::vector<float>> values() const;
+
+  /// Delete the server-side cube.
+  Status del() const;
+
+ private:
+  friend class Client;
+
+  Server* server_ = nullptr;
+  std::string pid_;
+};
+
+/// A connection to the framework front-end.
+class Client {
+ public:
+  /// Binds to a running server (in-process deployment of the framework).
+  explicit Client(Server& server) : server_(&server) {}
+
+  /// Imports a variable from a CDF-lite file.
+  Result<Cube> importnc(const std::string& path, const std::string& variable,
+                        const ImportOptions& options = {});
+
+  /// Creates a cube from client-side data.
+  Result<Cube> create_cube(std::string measure, std::vector<DimInfo> explicit_dims,
+                           DimInfo implicit_dim, const std::vector<float>& dense,
+                           std::string description = "");
+
+  /// Wraps an existing PID.
+  Cube attach(const std::string& pid) { return Cube(server_, pid); }
+
+  /// PIDs of every catalogued cube.
+  std::vector<std::string> list() const { return server_->list_cubes(); }
+
+  Server& server() { return *server_; }
+
+ private:
+  Server* server_;
+};
+
+}  // namespace climate::datacube

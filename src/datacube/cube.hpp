@@ -1,0 +1,86 @@
+// Datacube storage model, mirroring the Ophidia array-based storage design
+// (paper section 4.2.2): a cube has explicit dimensions (forming the "rows")
+// and one implicit array dimension stored inline per row (typically time).
+// Rows are partitioned into fragments, and fragments are distributed across
+// the I/O servers of the framework, which process them in parallel and keep
+// them in memory between operators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace climate::datacube {
+
+using common::Result;
+using common::Status;
+
+/// One dimension: name, size and coordinate values (e.g. latitudes).
+struct DimInfo {
+  std::string name;
+  std::size_t size = 0;
+  std::vector<double> coords;  ///< Optional; empty means 0..size-1.
+
+  /// Coordinate of index i (falls back to the index itself).
+  double coord(std::size_t i) const {
+    return i < coords.size() ? coords[i] : static_cast<double>(i);
+  }
+};
+
+/// A contiguous block of rows owned by one I/O server.
+struct Fragment {
+  std::size_t row_start = 0;
+  std::size_t row_count = 0;
+  int server = 0;              ///< Owning I/O server index.
+  std::vector<float> values;   ///< row_count * array_length floats.
+};
+
+/// In-memory datacube: explicit dims x implicit array dimension.
+struct CubeData {
+  std::string measure;                 ///< Variable name (e.g. "tmax").
+  std::vector<DimInfo> explicit_dims;  ///< Row dimensions, outermost first.
+  DimInfo implicit_dim;                ///< The per-row array dimension.
+  std::vector<Fragment> fragments;     ///< Disjoint row partition, ordered.
+  std::string description;             ///< Free-text provenance note.
+
+  /// Number of rows (product of explicit dimension sizes).
+  std::size_t row_count() const {
+    std::size_t rows = 1;
+    for (const DimInfo& d : explicit_dims) rows *= d.size;
+    return rows;
+  }
+
+  /// Elements per row.
+  std::size_t array_length() const { return implicit_dim.size; }
+
+  /// Total elements in the cube.
+  std::size_t element_count() const { return row_count() * array_length(); }
+
+  /// Approximate in-memory size in bytes.
+  std::size_t byte_size() const { return element_count() * sizeof(float); }
+
+  /// Multi-index of a flat row over the explicit dims (outermost first).
+  std::vector<std::size_t> row_multi_index(std::size_t row) const;
+
+  /// Validates internal consistency (fragments cover all rows exactly once,
+  /// value buffers have the right size).
+  Status validate() const;
+
+  /// Gathers all fragment values into one dense row-major buffer.
+  std::vector<float> to_dense() const;
+};
+
+/// Splits `rows` rows into `nfragments` contiguous fragments assigned
+/// round-robin to `nservers` I/O servers; value buffers are sized and
+/// zero-filled.
+std::vector<Fragment> make_fragments(std::size_t rows, std::size_t array_len,
+                                     std::size_t nfragments, std::size_t nservers);
+
+/// Builds a cube from a dense row-major buffer.
+CubeData cube_from_dense(std::string measure, std::vector<DimInfo> explicit_dims,
+                         DimInfo implicit_dim, const std::vector<float>& dense,
+                         std::size_t nfragments, std::size_t nservers);
+
+}  // namespace climate::datacube

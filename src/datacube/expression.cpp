@@ -1,0 +1,559 @@
+#include "datacube/expression.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <map>
+
+namespace climate::datacube {
+namespace detail {
+
+// Value during evaluation: either a scalar or an array.
+struct Value {
+  bool is_array = false;
+  float scalar = 0.0f;
+  std::vector<float> array;
+
+  std::size_t length() const { return is_array ? array.size() : 1; }
+  float at(std::size_t i) const { return is_array ? array[i] : scalar; }
+};
+
+struct Node {
+  virtual ~Node() = default;
+  virtual Value eval(const std::vector<float>& measure) const = 0;
+};
+
+using NodePtr = std::shared_ptr<const Node>;
+
+struct NumberNode : Node {
+  explicit NumberNode(float v) : value(v) {}
+  float value;
+  Value eval(const std::vector<float>&) const override { return {false, value, {}}; }
+};
+
+struct MeasureNode : Node {
+  Value eval(const std::vector<float>& measure) const override {
+    Value v;
+    v.is_array = true;
+    v.array = measure;
+    return v;
+  }
+};
+
+struct BinaryNode : Node {
+  BinaryNode(char op, NodePtr l, NodePtr r) : op(op), lhs(std::move(l)), rhs(std::move(r)) {}
+  char op;  // + - * / < > L(<=) G(>=) E(==) N(!=)
+  NodePtr lhs, rhs;
+
+  static float apply(char op, float a, float b) {
+    switch (op) {
+      case '+': return a + b;
+      case '-': return a - b;
+      case '*': return a * b;
+      case '/': return b == 0.0f ? 0.0f : a / b;
+      case '<': return a < b ? 1.0f : 0.0f;
+      case '>': return a > b ? 1.0f : 0.0f;
+      case 'L': return a <= b ? 1.0f : 0.0f;
+      case 'G': return a >= b ? 1.0f : 0.0f;
+      case 'E': return a == b ? 1.0f : 0.0f;
+      case 'N': return a != b ? 1.0f : 0.0f;
+    }
+    return 0.0f;
+  }
+
+  Value eval(const std::vector<float>& measure) const override {
+    const Value a = lhs->eval(measure);
+    const Value b = rhs->eval(measure);
+    Value out;
+    if (!a.is_array && !b.is_array) {
+      out.scalar = apply(op, a.scalar, b.scalar);
+      return out;
+    }
+    const std::size_t n = std::max(a.length(), b.length());
+    out.is_array = true;
+    out.array.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.array[i] = apply(op, a.at(a.is_array ? i : 0), b.at(b.is_array ? i : 0));
+    }
+    return out;
+  }
+};
+
+struct NegNode : Node {
+  explicit NegNode(NodePtr c) : child(std::move(c)) {}
+  NodePtr child;
+  Value eval(const std::vector<float>& measure) const override {
+    Value v = child->eval(measure);
+    if (v.is_array) {
+      for (float& x : v.array) x = -x;
+    } else {
+      v.scalar = -v.scalar;
+    }
+    return v;
+  }
+};
+
+struct UnaryFnNode : Node {
+  UnaryFnNode(float (*fn)(float), NodePtr c) : fn(fn), child(std::move(c)) {}
+  float (*fn)(float);
+  NodePtr child;
+  Value eval(const std::vector<float>& measure) const override {
+    Value v = child->eval(measure);
+    if (v.is_array) {
+      for (float& x : v.array) x = fn(x);
+    } else {
+      v.scalar = fn(v.scalar);
+    }
+    return v;
+  }
+};
+
+struct BinaryFnNode : Node {
+  BinaryFnNode(float (*fn)(float, float), NodePtr a, NodePtr b)
+      : fn(fn), lhs(std::move(a)), rhs(std::move(b)) {}
+  float (*fn)(float, float);
+  NodePtr lhs, rhs;
+  Value eval(const std::vector<float>& measure) const override {
+    const Value a = lhs->eval(measure);
+    const Value b = rhs->eval(measure);
+    Value out;
+    if (!a.is_array && !b.is_array) {
+      out.scalar = fn(a.scalar, b.scalar);
+      return out;
+    }
+    const std::size_t n = std::max(a.length(), b.length());
+    out.is_array = true;
+    out.array.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.array[i] = fn(a.at(a.is_array ? i : 0), b.at(b.is_array ? i : 0));
+    }
+    return out;
+  }
+};
+
+// predicate(a, 'cond', then, else): cond is an operator + literal, applied
+// elementwise to a; result takes then/else (both may be arrays or scalars).
+struct PredicateNode : Node {
+  NodePtr input;
+  char cmp = '>';   // same encoding as BinaryNode
+  float threshold = 0.0f;
+  NodePtr then_value;
+  NodePtr else_value;
+
+  Value eval(const std::vector<float>& measure) const override {
+    const Value a = input->eval(measure);
+    const Value t = then_value->eval(measure);
+    const Value e = else_value->eval(measure);
+    const std::size_t n = std::max({a.length(), t.length(), e.length()});
+    Value out;
+    out.is_array = a.is_array || t.is_array || e.is_array;
+    if (!out.is_array) {
+      out.scalar = BinaryNode::apply(cmp, a.scalar, threshold) != 0.0f ? t.scalar : e.scalar;
+      return out;
+    }
+    out.array.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool hit = BinaryNode::apply(cmp, a.at(a.is_array ? i : 0), threshold) != 0.0f;
+      const Value& src = hit ? t : e;
+      out.array[i] = src.at(src.is_array ? i : 0);
+    }
+    return out;
+  }
+};
+
+struct WaveDurationNode : Node {
+  NodePtr input;
+  int min_len = 1;
+  Value eval(const std::vector<float>& measure) const override {
+    const Value a = input->eval(measure);
+    Value out;
+    out.is_array = true;
+    out.array = wave_duration(a.is_array ? a.array : std::vector<float>{a.scalar}, min_len);
+    return out;
+  }
+};
+
+struct ScanNode : Node {
+  enum class Kind { kRunningMax, kRunningSum };
+  Kind kind;
+  NodePtr input;
+  Value eval(const std::vector<float>& measure) const override {
+    Value v = input->eval(measure);
+    if (!v.is_array) return v;
+    float acc = 0.0f;
+    bool first = true;
+    for (float& x : v.array) {
+      if (kind == Kind::kRunningSum) {
+        acc = first ? x : acc + x;
+      } else {
+        acc = first ? x : std::max(acc, x);
+      }
+      first = false;
+      x = acc;
+    }
+    return v;
+  }
+};
+
+struct ShiftNode : Node {
+  NodePtr input;
+  int offset = 0;
+  Value eval(const std::vector<float>& measure) const override {
+    Value v = input->eval(measure);
+    if (!v.is_array || offset == 0) return v;
+    const std::size_t n = v.array.size();
+    std::vector<float> shifted(n, 0.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      const long src = static_cast<long>(i) - offset;
+      if (src >= 0 && src < static_cast<long>(n)) shifted[i] = v.array[static_cast<std::size_t>(src)];
+    }
+    v.array = std::move(shifted);
+    return v;
+  }
+};
+
+// ---------------------------------------------------------------- tokenizer
+
+enum class TokKind { kNumber, kIdent, kString, kOp, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  float number = 0.0f;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || (c == '.' && pos_ + 1 < text_.size())) {
+        std::size_t end = 0;
+        const float v = std::stof(text_.substr(pos_), &end);
+        tokens.push_back({TokKind::kNumber, text_.substr(pos_, end), v});
+        pos_ += end;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[end])) || text_[end] == '_')) {
+          ++end;
+        }
+        tokens.push_back({TokKind::kIdent, text_.substr(pos_, end - pos_), 0.0f});
+        pos_ = end;
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        const char quote = c;
+        std::size_t end = text_.find(quote, pos_ + 1);
+        if (end == std::string::npos) return Status::InvalidArgument("unterminated string literal");
+        tokens.push_back({TokKind::kString, text_.substr(pos_ + 1, end - pos_ - 1), 0.0f});
+        pos_ = end + 1;
+        continue;
+      }
+      // Multi-char comparison operators.
+      static const char* kTwoChar[] = {"<=", ">=", "==", "!="};
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (text_.compare(pos_, 2, op) == 0) {
+          tokens.push_back({TokKind::kOp, op, 0.0f});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      if (std::string("+-*/(),<>").find(c) != std::string::npos) {
+        tokens.push_back({TokKind::kOp, std::string(1, c), 0.0f});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back({TokKind::kEnd, "", 0.0f});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------ parser
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<NodePtr> run() {
+    Result<NodePtr> node = parse_comparison();
+    if (!node.ok()) return node;
+    if (peek().kind != TokKind::kEnd) return Status::InvalidArgument("trailing tokens in expression");
+    return node;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token take() { return tokens_[pos_++]; }
+
+  bool accept_op(const std::string& op) {
+    if (peek().kind == TokKind::kOp && peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<NodePtr> parse_comparison() {
+    Result<NodePtr> left = parse_additive();
+    if (!left.ok()) return left;
+    NodePtr node = *left;
+    while (peek().kind == TokKind::kOp &&
+           (peek().text == "<" || peek().text == ">" || peek().text == "<=" ||
+            peek().text == ">=" || peek().text == "==" || peek().text == "!=")) {
+      const std::string op = take().text;
+      Result<NodePtr> right = parse_additive();
+      if (!right.ok()) return right;
+      char code = op[0];
+      if (op == "<=") code = 'L';
+      else if (op == ">=") code = 'G';
+      else if (op == "==") code = 'E';
+      else if (op == "!=") code = 'N';
+      node = std::make_shared<BinaryNode>(code, node, *right);
+    }
+    return node;
+  }
+
+  Result<NodePtr> parse_additive() {
+    Result<NodePtr> left = parse_multiplicative();
+    if (!left.ok()) return left;
+    NodePtr node = *left;
+    while (peek().kind == TokKind::kOp && (peek().text == "+" || peek().text == "-")) {
+      const char op = take().text[0];
+      Result<NodePtr> right = parse_multiplicative();
+      if (!right.ok()) return right;
+      node = std::make_shared<BinaryNode>(op, node, *right);
+    }
+    return node;
+  }
+
+  Result<NodePtr> parse_multiplicative() {
+    Result<NodePtr> left = parse_unary();
+    if (!left.ok()) return left;
+    NodePtr node = *left;
+    while (peek().kind == TokKind::kOp && (peek().text == "*" || peek().text == "/")) {
+      const char op = take().text[0];
+      Result<NodePtr> right = parse_unary();
+      if (!right.ok()) return right;
+      node = std::make_shared<BinaryNode>(op, node, *right);
+    }
+    return node;
+  }
+
+  Result<NodePtr> parse_unary() {
+    if (accept_op("-")) {
+      Result<NodePtr> child = parse_unary();
+      if (!child.ok()) return child;
+      return NodePtr(std::make_shared<NegNode>(*child));
+    }
+    if (accept_op("+")) return parse_unary();
+    return parse_primary();
+  }
+
+  Result<NodePtr> parse_args(std::vector<NodePtr>& args, std::vector<std::string>& strings) {
+    if (!accept_op("(")) return Status::InvalidArgument("expected '(' after function name");
+    if (accept_op(")")) return NodePtr(nullptr);
+    while (true) {
+      if (peek().kind == TokKind::kString) {
+        strings.push_back(take().text);
+        args.push_back(nullptr);  // placeholder keeps positions aligned
+      } else {
+        Result<NodePtr> arg = parse_comparison();
+        if (!arg.ok()) return arg;
+        args.push_back(*arg);
+        strings.emplace_back();
+      }
+      if (accept_op(",")) continue;
+      if (accept_op(")")) return NodePtr(nullptr);
+      return Status::InvalidArgument("expected ',' or ')' in argument list");
+    }
+  }
+
+  Result<NodePtr> parse_primary() {
+    const Token token = take();
+    if (token.kind == TokKind::kNumber) return NodePtr(std::make_shared<NumberNode>(token.number));
+    if (token.kind == TokKind::kOp && token.text == "(") {
+      Result<NodePtr> inner = parse_comparison();
+      if (!inner.ok()) return inner;
+      if (!accept_op(")")) return Status::InvalidArgument("expected ')'");
+      return inner;
+    }
+    if (token.kind != TokKind::kIdent) {
+      return Status::InvalidArgument("unexpected token '" + token.text + "'");
+    }
+    std::string name = token.text;
+    // Normalize the Ophidia primitive prefix: oph_predicate == predicate.
+    if (name.rfind("oph_", 0) == 0) name = name.substr(4);
+
+    if (name == "measure" || name == "x") return NodePtr(std::make_shared<MeasureNode>());
+
+    // Function call.
+    std::vector<NodePtr> args;
+    std::vector<std::string> strings;
+    Result<NodePtr> status = parse_args(args, strings);
+    if (!status.ok()) return status.status();
+
+    auto need = [&](std::size_t n) -> Status {
+      if (args.size() != n) {
+        return Status::InvalidArgument(name + " expects " + std::to_string(n) + " arguments");
+      }
+      return Status::Ok();
+    };
+
+    static const std::map<std::string, float (*)(float)> kUnary = {
+        {"abs", [](float v) { return std::fabs(v); }},
+        {"sqrt", [](float v) { return std::sqrt(std::max(0.0f, v)); }},
+        {"exp", [](float v) { return std::exp(v); }},
+        {"log", [](float v) { return v <= 0.0f ? 0.0f : std::log(v); }},
+    };
+    static const std::map<std::string, float (*)(float, float)> kBinary = {
+        {"min", [](float a, float b) { return std::min(a, b); }},
+        {"max", [](float a, float b) { return std::max(a, b); }},
+        {"pow", [](float a, float b) { return std::pow(a, b); }},
+    };
+
+    if (auto it = kUnary.find(name); it != kUnary.end()) {
+      CLIMATE_RETURN_IF_ERROR(need(1));
+      if (!args[0]) return Status::InvalidArgument(name + ": argument must be an expression");
+      return NodePtr(std::make_shared<UnaryFnNode>(it->second, args[0]));
+    }
+    if (auto it = kBinary.find(name); it != kBinary.end()) {
+      CLIMATE_RETURN_IF_ERROR(need(2));
+      if (!args[0] || !args[1]) return Status::InvalidArgument(name + ": arguments must be expressions");
+      return NodePtr(std::make_shared<BinaryFnNode>(it->second, args[0], args[1]));
+    }
+    if (name == "predicate") {
+      // predicate(a, 'cond', then, else); Ophidia's longer 7-argument form
+      // oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0') is also
+      // accepted: string type/variable arguments are skipped.
+      std::vector<std::size_t> expr_positions;
+      std::vector<std::size_t> string_positions;
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i]) expr_positions.push_back(i);
+        else string_positions.push_back(i);
+      }
+      auto node = std::make_shared<PredicateNode>();
+      // Condition: the first string that parses as an operator+number.
+      bool have_cond = false;
+      std::vector<std::string> value_strings;
+      for (std::size_t pos : string_positions) {
+        const std::string& s = strings[pos];
+        if (!have_cond && !s.empty() && (s[0] == '>' || s[0] == '<' || s[0] == '=' || s[0] == '!')) {
+          std::string op = s.substr(0, (s.size() > 1 && (s[1] == '=')) ? 2 : 1);
+          char code = op[0];
+          if (op == "<=") code = 'L';
+          else if (op == ">=") code = 'G';
+          else if (op == "==") code = 'E';
+          else if (op == "!=") code = 'N';
+          node->cmp = code;
+          node->threshold = std::stof(s.substr(op.size()));
+          have_cond = true;
+        } else if (!s.empty() && (std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-')) {
+          value_strings.push_back(s);
+        }
+        // Strings like 'OPH_INT' or 'x' are type/variable markers: ignored.
+      }
+      if (!have_cond) return Status::InvalidArgument("predicate: missing condition string");
+      std::vector<NodePtr> exprs;
+      for (std::size_t pos : expr_positions) exprs.push_back(args[pos]);
+      // First expression is the input unless only then/else were numeric.
+      std::size_t cursor = 0;
+      node->input = cursor < exprs.size() ? exprs[cursor++] : std::make_shared<MeasureNode>();
+      auto value_or = [&](std::size_t string_idx) -> NodePtr {
+        if (cursor < exprs.size()) return exprs[cursor++];
+        if (string_idx < value_strings.size()) {
+          return std::make_shared<NumberNode>(std::stof(value_strings[string_idx]));
+        }
+        return std::make_shared<NumberNode>(0.0f);
+      };
+      node->then_value = value_or(0);
+      node->else_value = value_or(1);
+      return NodePtr(node);
+    }
+    if (name == "wave_duration") {
+      CLIMATE_RETURN_IF_ERROR(need(2));
+      if (!args[0] || !args[1]) return Status::InvalidArgument("wave_duration: bad arguments");
+      auto node = std::make_shared<WaveDurationNode>();
+      node->input = args[0];
+      node->min_len = static_cast<int>(args[1]->eval({}).scalar);
+      return NodePtr(node);
+    }
+    if (name == "running_max" || name == "running_sum") {
+      CLIMATE_RETURN_IF_ERROR(need(1));
+      if (!args[0]) return Status::InvalidArgument(name + ": bad argument");
+      auto node = std::make_shared<ScanNode>();
+      node->kind = name == "running_max" ? ScanNode::Kind::kRunningMax : ScanNode::Kind::kRunningSum;
+      node->input = args[0];
+      return NodePtr(node);
+    }
+    if (name == "shift") {
+      CLIMATE_RETURN_IF_ERROR(need(2));
+      if (!args[0] || !args[1]) return Status::InvalidArgument("shift: bad arguments");
+      auto node = std::make_shared<ShiftNode>();
+      node->input = args[0];
+      node->offset = static_cast<int>(args[1]->eval({}).scalar);
+      return NodePtr(node);
+    }
+    return Status::InvalidArgument("unknown function '" + name + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+Result<Expression> Expression::parse(const std::string& text) {
+  detail::Lexer lexer(text);
+  auto tokens = lexer.run();
+  if (!tokens.ok()) return tokens.status();
+  detail::ExprParser parser(std::move(*tokens));
+  auto root = parser.run();
+  if (!root.ok()) return root.status();
+  Expression expr;
+  expr.text_ = text;
+  expr.root_ = *root;
+  return expr;
+}
+
+std::vector<float> Expression::eval(const std::vector<float>& measure) const {
+  if (!root_) return {};
+  detail::Value v = root_->eval(measure);
+  if (v.is_array) return std::move(v.array);
+  return {v.scalar};
+}
+
+std::vector<float> wave_duration(const std::vector<float>& binary, int min_len) {
+  std::vector<float> out(binary.size(), 0.0f);
+  int run = 0;
+  for (std::size_t i = 0; i < binary.size(); ++i) {
+    if (binary[i] > 0.5f) {
+      ++run;
+    } else {
+      if (run >= min_len && i > 0) out[i - 1] = static_cast<float>(run);
+      run = 0;
+    }
+  }
+  if (run >= min_len && !binary.empty()) out[binary.size() - 1] = static_cast<float>(run);
+  return out;
+}
+
+}  // namespace climate::datacube

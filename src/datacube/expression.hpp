@@ -1,0 +1,69 @@
+// Expression engine for the datacube `apply` operator — the equivalent of
+// Ophidia's array primitives (oph_predicate & friends used in Listing 1 of
+// the paper).
+//
+// Expressions operate per row on the implicit array dimension. The variable
+// `measure` (alias `x`) is the row's array; arithmetic and comparisons are
+// elementwise with scalar broadcasting; functions:
+//
+//   abs(a), sqrt(a), exp(a), log(a), min(a,b), max(a,b), pow(a,b)
+//   predicate(a, 'cond', then, else)   -- elementwise conditional, cond one
+//                                         of  >v >=v <v <=v ==v !=v  (e.g.
+//                                         predicate(x,'>0',1,0)); the Ophidia
+//                                         spelling oph_predicate is accepted
+//   wave_duration(a, min_len)          -- a is a 0/1 array; returns an array
+//                                         of the same length with the length
+//                                         of each qualifying run (>= min_len
+//                                         consecutive ones) stored at the
+//                                         run's end position, 0 elsewhere.
+//                                         This is the "duration cube" input
+//                                         of the heat/cold-wave indices.
+//   running_max(a), running_sum(a)     -- prefix scans
+//   shift(a, k)                        -- shift with zero fill
+//
+// A parsed Expression is immutable and thread-safe to evaluate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace climate::datacube {
+
+using common::Result;
+using common::Status;
+
+namespace detail {
+struct Node;
+}
+
+/// A compiled array expression.
+class Expression {
+ public:
+  /// Parses the expression text; returns INVALID_ARGUMENT on syntax errors.
+  static Result<Expression> parse(const std::string& text);
+
+  Expression() = default;
+
+  /// Evaluates over one row array; output length equals input length unless
+  /// the expression is a pure scalar (then length 1).
+  std::vector<float> eval(const std::vector<float>& measure) const;
+
+  /// Original source text.
+  const std::string& text() const { return text_; }
+
+  bool valid() const { return root_ != nullptr; }
+
+ private:
+  std::string text_;
+  std::shared_ptr<const detail::Node> root_;
+};
+
+/// Computes wave_duration directly (exposed for the reference index
+/// implementation and for property tests): lengths of runs of consecutive
+/// ones with length >= min_len, written at each run's final position.
+std::vector<float> wave_duration(const std::vector<float>& binary, int min_len);
+
+}  // namespace climate::datacube

@@ -1,0 +1,893 @@
+#include "datacube/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "ncio/ncfile.hpp"
+
+namespace climate::datacube {
+namespace {
+constexpr const char* kLogTag = "datacube";
+}
+
+Result<ReduceOp> parse_reduce_op(const std::string& name) {
+  if (name == "max") return ReduceOp::kMax;
+  if (name == "min") return ReduceOp::kMin;
+  if (name == "sum") return ReduceOp::kSum;
+  if (name == "avg" || name == "mean") return ReduceOp::kAvg;
+  if (name == "std") return ReduceOp::kStd;
+  if (name == "count") return ReduceOp::kCount;
+  return Status::InvalidArgument("unknown reduce operation '" + name + "'");
+}
+
+Result<InterOp> parse_inter_op(const std::string& name) {
+  if (name == "add") return InterOp::kAdd;
+  if (name == "sub") return InterOp::kSub;
+  if (name == "mul") return InterOp::kMul;
+  if (name == "div") return InterOp::kDiv;
+  if (name == "mask") return InterOp::kMask;
+  return Status::InvalidArgument("unknown intercube operation '" + name + "'");
+}
+
+Server::Server(std::size_t io_servers) { set_io_servers(io_servers); }
+
+void Server::set_io_servers(std::size_t count) {
+  count = std::max<std::size_t>(1, count);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count == io_servers_) return;
+  pool_ = std::make_unique<common::ThreadPool>(count);
+  io_servers_ = count;
+}
+
+std::size_t Server::io_servers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return io_servers_;
+}
+
+void Server::run_fragments(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  common::ThreadPool* pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pool = pool_.get();
+  }
+  pool->parallel_for(count, fn);
+}
+
+std::string Server::register_cube(CubeData cube) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string pid = "oph://local/datacube/" + std::to_string(next_id_++);
+  catalog_[pid] = std::make_shared<const CubeData>(std::move(cube));
+  creation_order_.push_back(pid);
+  ++stats_.cubes_created;
+  return pid;
+}
+
+Result<std::shared_ptr<const CubeData>> Server::lookup(const std::string& pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = catalog_.find(pid);
+  if (it == catalog_.end()) return Status::NotFound("no datacube '" + pid + "'");
+  return it->second;
+}
+
+Result<std::string> Server::importnc(const std::string& path, const std::string& variable,
+                                     const ImportOptions& options) {
+  auto reader = ncio::FileReader::open(path);
+  if (!reader.ok()) return reader.status();
+
+  auto info = reader->var_info(variable);
+  if (!info.ok()) return info.status();
+  if (info->dim_ids.empty()) return Status::InvalidArgument("variable '" + variable + "' is a scalar");
+
+  auto values = reader->read_floats(variable);
+  if (!values.ok()) return values.status();
+
+  CubeData cube;
+  cube.measure = variable;
+  cube.description = "importnc(" + path + ")";
+
+  // Identify the implicit dimension: the named one, or the last.
+  std::size_t implicit_index = info->dim_ids.size() - 1;
+  if (!options.implicit_dim.empty()) {
+    bool found = false;
+    for (std::size_t d = 0; d < info->dim_ids.size(); ++d) {
+      if (reader->dims()[info->dim_ids[d]].name == options.implicit_dim) {
+        implicit_index = d;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("implicit dimension '" + options.implicit_dim + "' not in variable");
+    }
+    if (implicit_index != info->dim_ids.size() - 1) {
+      return Status::Unimplemented("implicit dimension must be the variable's last dimension");
+    }
+  }
+
+  auto dim_coords = [&](const std::string& name) -> std::vector<double> {
+    auto coord = reader->var_info(name);
+    if (!coord.ok() || coord->dim_ids.size() != 1) return {};
+    auto v = reader->read_doubles(name);
+    if (!v.ok()) return {};
+    return std::move(*v);
+  };
+
+  for (std::size_t d = 0; d < info->dim_ids.size(); ++d) {
+    const ncio::Dim& dim = reader->dims()[info->dim_ids[d]];
+    DimInfo di{dim.name, dim.length, dim_coords(dim.name)};
+    if (d == implicit_index) {
+      cube.implicit_dim = std::move(di);
+    } else {
+      cube.explicit_dims.push_back(std::move(di));
+    }
+  }
+
+  std::size_t nfragments = options.nfragments;
+  std::size_t nservers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nservers = io_servers_;
+    stats_.disk_reads += 1;
+    stats_.disk_bytes_read += values->size() * sizeof(float);
+  }
+  if (nfragments == 0) nfragments = nservers;
+
+  const std::size_t alen = cube.array_length();
+  cube.fragments = make_fragments(cube.row_count(), alen, nfragments, nservers);
+  for (Fragment& frag : cube.fragments) {
+    std::memcpy(frag.values.data(), values->data() + frag.row_start * alen,
+                frag.values.size() * sizeof(float));
+  }
+  LOG_DEBUG(kLogTag) << "importnc " << path << ":" << variable << " -> " << cube.element_count()
+                     << " elements in " << cube.fragments.size() << " fragments";
+  return register_cube(std::move(cube));
+}
+
+Result<std::string> Server::create_cube(std::string measure, std::vector<DimInfo> explicit_dims,
+                                        DimInfo implicit_dim, const std::vector<float>& dense,
+                                        std::string description) {
+  std::size_t rows = 1;
+  for (const DimInfo& d : explicit_dims) rows *= d.size;
+  if (dense.size() != rows * implicit_dim.size) {
+    return Status::InvalidArgument("create_cube: buffer has " + std::to_string(dense.size()) +
+                                   " elements, expected " + std::to_string(rows * implicit_dim.size));
+  }
+  std::size_t nservers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nservers = io_servers_;
+  }
+  CubeData cube = cube_from_dense(std::move(measure), std::move(explicit_dims),
+                                  std::move(implicit_dim), dense, nservers, nservers);
+  cube.description = std::move(description);
+  return register_cube(std::move(cube));
+}
+
+Status Server::exportnc(const std::string& pid, const std::string& path) {
+  auto cube_result = lookup(pid);
+  if (!cube_result.ok()) return cube_result.status();
+  const CubeData& cube = **cube_result;
+
+  auto writer = ncio::FileWriter::create(path);
+  if (!writer.ok()) return writer.status();
+
+  std::vector<std::string> dim_names;
+  for (const DimInfo& dim : cube.explicit_dims) {
+    auto id = writer->def_dim(dim.name, dim.size);
+    if (!id.ok()) return id.status();
+    dim_names.push_back(dim.name);
+  }
+  const bool has_implicit = cube.array_length() > 1;
+  if (has_implicit) {
+    auto id = writer->def_dim(cube.implicit_dim.name, cube.implicit_dim.size);
+    if (!id.ok()) return id.status();
+    dim_names.push_back(cube.implicit_dim.name);
+  }
+  // Coordinate variables.
+  auto def_coord = [&](const DimInfo& dim) -> Status {
+    if (dim.coords.empty()) return Status::Ok();
+    auto id = writer->def_var(dim.name, ncio::DType::kFloat64, {dim.name});
+    return id.ok() ? Status::Ok() : id.status();
+  };
+  for (const DimInfo& dim : cube.explicit_dims) CLIMATE_RETURN_IF_ERROR(def_coord(dim));
+  if (has_implicit) CLIMATE_RETURN_IF_ERROR(def_coord(cube.implicit_dim));
+
+  auto var_id = writer->def_var(cube.measure, ncio::DType::kFloat32, dim_names);
+  if (!var_id.ok()) return var_id.status();
+  CLIMATE_RETURN_IF_ERROR(writer->put_attr("", "source", std::string("climate_datacube exportnc")));
+  CLIMATE_RETURN_IF_ERROR(writer->put_attr(cube.measure, "description", cube.description));
+  CLIMATE_RETURN_IF_ERROR(writer->end_def());
+
+  for (const DimInfo& dim : cube.explicit_dims) {
+    if (!dim.coords.empty()) {
+      CLIMATE_RETURN_IF_ERROR(writer->put_var(dim.name, dim.coords.data(), dim.coords.size()));
+    }
+  }
+  if (has_implicit && !cube.implicit_dim.coords.empty()) {
+    CLIMATE_RETURN_IF_ERROR(
+        writer->put_var(cube.implicit_dim.name, cube.implicit_dim.coords.data(),
+                        cube.implicit_dim.coords.size()));
+  }
+  const std::vector<float> dense = cube.to_dense();
+  CLIMATE_RETURN_IF_ERROR(writer->put_var(cube.measure, dense.data(), dense.size()));
+  CLIMATE_RETURN_IF_ERROR(writer->close());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.disk_writes += 1;
+    stats_.disk_bytes_written += dense.size() * sizeof(float);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> Server::reduce(const std::string& pid, ReduceOp op, std::size_t group_size,
+                                   const std::string& description) {
+  auto cube_result = lookup(pid);
+  if (!cube_result.ok()) return cube_result.status();
+  const CubeData& src = **cube_result;
+  const std::size_t alen = src.array_length();
+  if (group_size == 0) group_size = alen;
+  const std::size_t out_len = (alen + group_size - 1) / group_size;
+
+  CubeData out;
+  out.measure = src.measure;
+  out.description = description.empty() ? "reduce" : description;
+  out.explicit_dims = src.explicit_dims;
+  out.implicit_dim = DimInfo{src.implicit_dim.name, out_len, {}};
+  if (out_len == alen) out.implicit_dim.coords = src.implicit_dim.coords;
+  out.fragments.resize(src.fragments.size());
+
+  const std::size_t gs = group_size;
+  run_fragments(src.fragments.size(), [&](std::size_t f) {
+    const Fragment& in_frag = src.fragments[f];
+    Fragment& out_frag = out.fragments[f];
+    out_frag.row_start = in_frag.row_start;
+    out_frag.row_count = in_frag.row_count;
+    out_frag.server = in_frag.server;
+    out_frag.values.assign(in_frag.row_count * out_len, 0.0f);
+    for (std::size_t r = 0; r < in_frag.row_count; ++r) {
+      const float* row = in_frag.values.data() + r * alen;
+      float* dst = out_frag.values.data() + r * out_len;
+      for (std::size_t g = 0; g < out_len; ++g) {
+        const std::size_t begin = g * gs;
+        const std::size_t end = std::min(alen, begin + gs);
+        const std::size_t n = end - begin;
+        switch (op) {
+          case ReduceOp::kMax: {
+            float m = row[begin];
+            for (std::size_t i = begin + 1; i < end; ++i) m = std::max(m, row[i]);
+            dst[g] = m;
+            break;
+          }
+          case ReduceOp::kMin: {
+            float m = row[begin];
+            for (std::size_t i = begin + 1; i < end; ++i) m = std::min(m, row[i]);
+            dst[g] = m;
+            break;
+          }
+          case ReduceOp::kSum: {
+            double s = 0;
+            for (std::size_t i = begin; i < end; ++i) s += row[i];
+            dst[g] = static_cast<float>(s);
+            break;
+          }
+          case ReduceOp::kAvg: {
+            double s = 0;
+            for (std::size_t i = begin; i < end; ++i) s += row[i];
+            dst[g] = static_cast<float>(s / static_cast<double>(n));
+            break;
+          }
+          case ReduceOp::kStd: {
+            double s = 0, s2 = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+              s += row[i];
+              s2 += static_cast<double>(row[i]) * row[i];
+            }
+            const double mean = s / static_cast<double>(n);
+            const double var = std::max(0.0, s2 / static_cast<double>(n) - mean * mean);
+            dst[g] = static_cast<float>(std::sqrt(var));
+            break;
+          }
+          case ReduceOp::kCount: {
+            dst[g] = static_cast<float>(n);
+            break;
+          }
+        }
+      }
+    }
+  });
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.operators_executed;
+    stats_.elements_processed += src.element_count();
+  }
+  return register_cube(std::move(out));
+}
+
+Result<std::string> Server::apply(const std::string& pid, const std::string& expression,
+                                  const std::string& description) {
+  auto cube_result = lookup(pid);
+  if (!cube_result.ok()) return cube_result.status();
+  const CubeData& src = **cube_result;
+
+  auto expr = Expression::parse(expression);
+  if (!expr.ok()) return expr.status();
+
+  const std::size_t alen = src.array_length();
+  // Determine output length on a probe row.
+  std::vector<float> probe(alen, 0.0f);
+  const std::size_t out_len = expr->eval(probe).size();
+  if (out_len == 0) return Status::InvalidArgument("expression produces empty output");
+
+  CubeData out;
+  out.measure = src.measure;
+  out.description = description.empty() ? "apply(" + expression + ")" : description;
+  out.explicit_dims = src.explicit_dims;
+  out.implicit_dim = DimInfo{src.implicit_dim.name, out_len, {}};
+  if (out_len == alen) out.implicit_dim.coords = src.implicit_dim.coords;
+  out.fragments.resize(src.fragments.size());
+
+  std::atomic<bool> length_error{false};
+  run_fragments(src.fragments.size(), [&](std::size_t f) {
+    const Fragment& in_frag = src.fragments[f];
+    Fragment& out_frag = out.fragments[f];
+    out_frag.row_start = in_frag.row_start;
+    out_frag.row_count = in_frag.row_count;
+    out_frag.server = in_frag.server;
+    out_frag.values.assign(in_frag.row_count * out_len, 0.0f);
+    std::vector<float> row(alen);
+    for (std::size_t r = 0; r < in_frag.row_count; ++r) {
+      std::memcpy(row.data(), in_frag.values.data() + r * alen, alen * sizeof(float));
+      std::vector<float> result = expr->eval(row);
+      if (result.size() == 1 && out_len > 1) result.assign(out_len, result[0]);
+      if (result.size() != out_len) {
+        length_error.store(true);
+        return;
+      }
+      std::memcpy(out_frag.values.data() + r * out_len, result.data(), out_len * sizeof(float));
+    }
+  });
+  if (length_error.load()) {
+    return Status::Internal("expression produced rows of differing lengths");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.operators_executed;
+    stats_.elements_processed += src.element_count();
+  }
+  return register_cube(std::move(out));
+}
+
+Result<std::string> Server::intercube(const std::string& pid_a, const std::string& pid_b,
+                                      InterOp op, const std::string& description) {
+  auto a_result = lookup(pid_a);
+  if (!a_result.ok()) return a_result.status();
+  auto b_result = lookup(pid_b);
+  if (!b_result.ok()) return b_result.status();
+  const CubeData& a = **a_result;
+  const CubeData& b = **b_result;
+  if (a.row_count() != b.row_count() || a.array_length() != b.array_length()) {
+    return Status::InvalidArgument("intercube: shape mismatch (" + std::to_string(a.row_count()) +
+                                   "x" + std::to_string(a.array_length()) + " vs " +
+                                   std::to_string(b.row_count()) + "x" +
+                                   std::to_string(b.array_length()) + ")");
+  }
+
+  // b may be fragmented differently: use a dense view of it.
+  const std::vector<float> b_dense = b.to_dense();
+  const std::size_t alen = a.array_length();
+
+  CubeData out;
+  out.measure = a.measure;
+  out.description = description.empty() ? "intercube" : description;
+  out.explicit_dims = a.explicit_dims;
+  out.implicit_dim = a.implicit_dim;
+  out.fragments.resize(a.fragments.size());
+
+  run_fragments(a.fragments.size(), [&](std::size_t f) {
+    const Fragment& in_frag = a.fragments[f];
+    Fragment& out_frag = out.fragments[f];
+    out_frag.row_start = in_frag.row_start;
+    out_frag.row_count = in_frag.row_count;
+    out_frag.server = in_frag.server;
+    out_frag.values.resize(in_frag.values.size());
+    const float* bv = b_dense.data() + in_frag.row_start * alen;
+    for (std::size_t i = 0; i < in_frag.values.size(); ++i) {
+      const float x = in_frag.values[i];
+      const float y = bv[i];
+      switch (op) {
+        case InterOp::kAdd: out_frag.values[i] = x + y; break;
+        case InterOp::kSub: out_frag.values[i] = x - y; break;
+        case InterOp::kMul: out_frag.values[i] = x * y; break;
+        case InterOp::kDiv: out_frag.values[i] = y == 0.0f ? 0.0f : x / y; break;
+        case InterOp::kMask: out_frag.values[i] = y > 0.0f ? x : 0.0f; break;
+      }
+    }
+  });
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.operators_executed;
+    stats_.elements_processed += a.element_count() * 2;
+  }
+  return register_cube(std::move(out));
+}
+
+Result<std::string> Server::subset(const std::string& pid, const std::string& dim_name,
+                                   std::size_t start, std::size_t end,
+                                   const std::string& description) {
+  auto cube_result = lookup(pid);
+  if (!cube_result.ok()) return cube_result.status();
+  const CubeData& src = **cube_result;
+  if (end < start) return Status::InvalidArgument("subset: end < start");
+
+  const std::vector<float> dense = src.to_dense();
+  const std::size_t alen = src.array_length();
+
+  auto slice_coords = [&](const DimInfo& dim) {
+    DimInfo out{dim.name, end - start + 1, {}};
+    if (!dim.coords.empty()) {
+      out.coords.assign(dim.coords.begin() + static_cast<long>(start),
+                        dim.coords.begin() + static_cast<long>(end) + 1);
+    }
+    return out;
+  };
+
+  std::size_t nservers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nservers = io_servers_;
+  }
+
+  if (src.implicit_dim.name == dim_name) {
+    if (end >= alen) return Status::OutOfRange("subset: index past implicit dimension");
+    const std::size_t new_len = end - start + 1;
+    std::vector<float> out_dense(src.row_count() * new_len);
+    for (std::size_t r = 0; r < src.row_count(); ++r) {
+      std::memcpy(out_dense.data() + r * new_len, dense.data() + r * alen + start,
+                  new_len * sizeof(float));
+    }
+    CubeData out = cube_from_dense(src.measure, src.explicit_dims, slice_coords(src.implicit_dim),
+                                   out_dense, nservers, nservers);
+    out.description = description.empty() ? "subset(" + dim_name + ")" : description;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.operators_executed;
+      stats_.elements_processed += src.element_count();
+    }
+    return register_cube(std::move(out));
+  }
+
+  // Explicit dimension subset: select rows whose index on dim_name lies in
+  // [start, end].
+  std::size_t dim_index = src.explicit_dims.size();
+  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
+    if (src.explicit_dims[d].name == dim_name) dim_index = d;
+  }
+  if (dim_index == src.explicit_dims.size()) {
+    return Status::NotFound("subset: no dimension '" + dim_name + "'");
+  }
+  if (end >= src.explicit_dims[dim_index].size) {
+    return Status::OutOfRange("subset: index past dimension '" + dim_name + "'");
+  }
+
+  std::vector<DimInfo> out_dims = src.explicit_dims;
+  out_dims[dim_index] = slice_coords(src.explicit_dims[dim_index]);
+
+  std::size_t out_rows = 1;
+  for (const DimInfo& d : out_dims) out_rows *= d.size;
+  std::vector<float> out_dense(out_rows * alen);
+
+  // Row-major walk over the output index space, mapping back to source rows.
+  std::vector<std::size_t> src_strides(src.explicit_dims.size(), 1);
+  for (std::size_t d = src.explicit_dims.size(); d-- > 1;) {
+    src_strides[d - 1] = src_strides[d] * src.explicit_dims[d].size;
+  }
+  std::vector<std::size_t> idx(out_dims.size(), 0);
+  for (std::size_t out_row = 0; out_row < out_rows; ++out_row) {
+    std::size_t src_row = 0;
+    for (std::size_t d = 0; d < out_dims.size(); ++d) {
+      const std::size_t src_idx = d == dim_index ? idx[d] + start : idx[d];
+      src_row += src_idx * src_strides[d];
+    }
+    std::memcpy(out_dense.data() + out_row * alen, dense.data() + src_row * alen,
+                alen * sizeof(float));
+    for (std::size_t d = out_dims.size(); d-- > 0;) {
+      if (++idx[d] < out_dims[d].size) break;
+      idx[d] = 0;
+    }
+  }
+  CubeData out = cube_from_dense(src.measure, std::move(out_dims), src.implicit_dim, out_dense,
+                                 nservers, nservers);
+  out.description = description.empty() ? "subset(" + dim_name + ")" : description;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.operators_executed;
+    stats_.elements_processed += src.element_count();
+  }
+  return register_cube(std::move(out));
+}
+
+Result<std::string> Server::merge(const std::string& pid_a, const std::string& pid_b,
+                                  const std::string& description) {
+  auto a_result = lookup(pid_a);
+  if (!a_result.ok()) return a_result.status();
+  auto b_result = lookup(pid_b);
+  if (!b_result.ok()) return b_result.status();
+  const CubeData& a = **a_result;
+  const CubeData& b = **b_result;
+  if (a.explicit_dims.empty() || b.explicit_dims.empty()) {
+    return Status::InvalidArgument("merge: cubes need an explicit dimension");
+  }
+  if (a.explicit_dims.size() != b.explicit_dims.size() || a.array_length() != b.array_length()) {
+    return Status::InvalidArgument("merge: schema mismatch");
+  }
+  for (std::size_t d = 1; d < a.explicit_dims.size(); ++d) {
+    if (a.explicit_dims[d].size != b.explicit_dims[d].size) {
+      return Status::InvalidArgument("merge: inner dimension size mismatch");
+    }
+  }
+
+  std::vector<DimInfo> out_dims = a.explicit_dims;
+  out_dims[0].size += b.explicit_dims[0].size;
+  out_dims[0].coords.clear();
+  if (!a.explicit_dims[0].coords.empty() && !b.explicit_dims[0].coords.empty()) {
+    out_dims[0].coords = a.explicit_dims[0].coords;
+    out_dims[0].coords.insert(out_dims[0].coords.end(), b.explicit_dims[0].coords.begin(),
+                              b.explicit_dims[0].coords.end());
+  }
+  std::vector<float> dense = a.to_dense();
+  const std::vector<float> b_dense = b.to_dense();
+  dense.insert(dense.end(), b_dense.begin(), b_dense.end());
+
+  std::size_t nservers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nservers = io_servers_;
+    ++stats_.operators_executed;
+    stats_.elements_processed += dense.size();
+  }
+  CubeData out =
+      cube_from_dense(a.measure, std::move(out_dims), a.implicit_dim, dense, nservers, nservers);
+  out.description = description.empty() ? "merge" : description;
+  return register_cube(std::move(out));
+}
+
+Result<std::string> Server::concat_implicit(const std::string& pid_a, const std::string& pid_b,
+                                            const std::string& description) {
+  auto a_result = lookup(pid_a);
+  if (!a_result.ok()) return a_result.status();
+  auto b_result = lookup(pid_b);
+  if (!b_result.ok()) return b_result.status();
+  const CubeData& a = **a_result;
+  const CubeData& b = **b_result;
+  if (a.row_count() != b.row_count() || a.explicit_dims.size() != b.explicit_dims.size()) {
+    return Status::InvalidArgument("concat_implicit: explicit dimension mismatch");
+  }
+  for (std::size_t d = 0; d < a.explicit_dims.size(); ++d) {
+    if (a.explicit_dims[d].size != b.explicit_dims[d].size) {
+      return Status::InvalidArgument("concat_implicit: explicit dimension size mismatch");
+    }
+  }
+  const std::size_t alen_a = a.array_length();
+  const std::size_t alen_b = b.array_length();
+  const std::vector<float> dense_a = a.to_dense();
+  const std::vector<float> dense_b = b.to_dense();
+  const std::size_t rows = a.row_count();
+  std::vector<float> out_dense(rows * (alen_a + alen_b));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::memcpy(out_dense.data() + r * (alen_a + alen_b), dense_a.data() + r * alen_a,
+                alen_a * sizeof(float));
+    std::memcpy(out_dense.data() + r * (alen_a + alen_b) + alen_a, dense_b.data() + r * alen_b,
+                alen_b * sizeof(float));
+  }
+  DimInfo implicit = a.implicit_dim;
+  implicit.size = alen_a + alen_b;
+  if (!a.implicit_dim.coords.empty() && !b.implicit_dim.coords.empty()) {
+    implicit.coords = a.implicit_dim.coords;
+    implicit.coords.insert(implicit.coords.end(), b.implicit_dim.coords.begin(),
+                           b.implicit_dim.coords.end());
+  } else {
+    implicit.coords.clear();
+  }
+  std::size_t nservers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nservers = io_servers_;
+    ++stats_.operators_executed;
+    stats_.elements_processed += out_dense.size();
+  }
+  CubeData out = cube_from_dense(a.measure, a.explicit_dims, std::move(implicit), out_dense,
+                                 nservers, nservers);
+  out.description = description.empty() ? "concat_implicit" : description;
+  return register_cube(std::move(out));
+}
+
+Result<std::string> Server::aggregate(const std::string& pid, const std::string& dim_name,
+                                      ReduceOp op, const std::string& description) {
+  auto cube_result = lookup(pid);
+  if (!cube_result.ok()) return cube_result.status();
+  const CubeData& src = **cube_result;
+
+  std::size_t dim_index = src.explicit_dims.size();
+  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
+    if (src.explicit_dims[d].name == dim_name) dim_index = d;
+  }
+  if (dim_index == src.explicit_dims.size()) {
+    return Status::NotFound("aggregate: no explicit dimension '" + dim_name + "'");
+  }
+
+  const std::size_t alen = src.array_length();
+  const std::vector<float> dense = src.to_dense();
+
+  // Output dims: the collapsed one removed.
+  std::vector<DimInfo> out_dims;
+  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
+    if (d != dim_index) out_dims.push_back(src.explicit_dims[d]);
+  }
+  std::size_t out_rows = 1;
+  for (const DimInfo& d : out_dims) out_rows *= d.size;
+  const std::size_t collapse_n = src.explicit_dims[dim_index].size;
+
+  // Strides of the source row index space.
+  std::vector<std::size_t> strides(src.explicit_dims.size(), 1);
+  for (std::size_t d = src.explicit_dims.size(); d-- > 1;) {
+    strides[d - 1] = strides[d] * src.explicit_dims[d].size;
+  }
+
+  // Accumulators per output row per array position.
+  std::vector<double> sum(out_rows * alen, 0.0);
+  std::vector<double> sum_sq(op == ReduceOp::kStd ? out_rows * alen : 0, 0.0);
+  std::vector<float> extreme(out_rows * alen,
+                             op == ReduceOp::kMax ? -std::numeric_limits<float>::infinity()
+                                                  : std::numeric_limits<float>::infinity());
+
+  std::vector<std::size_t> idx(src.explicit_dims.size(), 0);
+  const std::size_t src_rows = src.row_count();
+  for (std::size_t row = 0; row < src_rows; ++row) {
+    // Output row index: strip dim_index from the multi-index.
+    std::size_t out_row = 0;
+    for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
+      if (d == dim_index) continue;
+      out_row = out_row * src.explicit_dims[d].size + idx[d];
+    }
+    const float* src_values = dense.data() + row * alen;
+    for (std::size_t k = 0; k < alen; ++k) {
+      const std::size_t o = out_row * alen + k;
+      const float v = src_values[k];
+      sum[o] += v;
+      if (op == ReduceOp::kStd) sum_sq[o] += static_cast<double>(v) * v;
+      if (op == ReduceOp::kMax) extreme[o] = std::max(extreme[o], v);
+      if (op == ReduceOp::kMin) extreme[o] = std::min(extreme[o], v);
+    }
+    for (std::size_t d = src.explicit_dims.size(); d-- > 0;) {
+      if (++idx[d] < src.explicit_dims[d].size) break;
+      idx[d] = 0;
+    }
+  }
+
+  std::vector<float> out_dense(out_rows * alen);
+  for (std::size_t o = 0; o < out_dense.size(); ++o) {
+    switch (op) {
+      case ReduceOp::kSum: out_dense[o] = static_cast<float>(sum[o]); break;
+      case ReduceOp::kAvg: out_dense[o] = static_cast<float>(sum[o] / collapse_n); break;
+      case ReduceOp::kMax:
+      case ReduceOp::kMin: out_dense[o] = extreme[o]; break;
+      case ReduceOp::kCount: out_dense[o] = static_cast<float>(collapse_n); break;
+      case ReduceOp::kStd: {
+        const double mean = sum[o] / collapse_n;
+        const double var = std::max(0.0, sum_sq[o] / collapse_n - mean * mean);
+        out_dense[o] = static_cast<float>(std::sqrt(var));
+        break;
+      }
+    }
+  }
+  std::size_t nservers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nservers = io_servers_;
+    ++stats_.operators_executed;
+    stats_.elements_processed += dense.size();
+  }
+  if (out_dims.empty()) out_dims.push_back({"scalar", 1, {}});
+  CubeData out = cube_from_dense(src.measure, std::move(out_dims), src.implicit_dim, out_dense,
+                                 nservers, nservers);
+  out.description = description.empty() ? "aggregate(" + dim_name + ")" : description;
+  return register_cube(std::move(out));
+}
+
+Status Server::delete_cube(const std::string& pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = catalog_.find(pid);
+  if (it == catalog_.end()) return Status::NotFound("no datacube '" + pid + "'");
+  catalog_.erase(it);
+  metadata_.erase(pid);
+  creation_order_.erase(std::remove(creation_order_.begin(), creation_order_.end(), pid),
+                        creation_order_.end());
+  ++stats_.cubes_deleted;
+  return Status::Ok();
+}
+
+Result<CubeSchema> Server::cubeschema(const std::string& pid) const {
+  auto cube_result = lookup(pid);
+  if (!cube_result.ok()) return cube_result.status();
+  const CubeData& cube = **cube_result;
+  CubeSchema schema;
+  schema.pid = pid;
+  schema.measure = cube.measure;
+  schema.description = cube.description;
+  schema.explicit_dims = cube.explicit_dims;
+  schema.implicit_dim = cube.implicit_dim;
+  schema.fragment_count = cube.fragments.size();
+  schema.element_count = cube.element_count();
+  schema.byte_size = cube.byte_size();
+  return schema;
+}
+
+Result<std::shared_ptr<const CubeData>> Server::get(const std::string& pid) const {
+  return lookup(pid);
+}
+
+Result<std::vector<float>> Server::fetch_dense(const std::string& pid) const {
+  auto cube_result = lookup(pid);
+  if (!cube_result.ok()) return cube_result.status();
+  return (*cube_result)->to_dense();
+}
+
+std::vector<std::string> Server::list_cubes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return creation_order_;
+}
+
+Status Server::set_metadata(const std::string& pid, const std::string& key,
+                            const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (catalog_.find(pid) == catalog_.end()) return Status::NotFound("no datacube '" + pid + "'");
+  metadata_[pid][key] = value;
+  return Status::Ok();
+}
+
+Result<std::map<std::string, std::string>> Server::metadata(const std::string& pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (catalog_.find(pid) == catalog_.end()) return Status::NotFound("no datacube '" + pid + "'");
+  auto it = metadata_.find(pid);
+  if (it == metadata_.end()) return std::map<std::string, std::string>{};
+  return it->second;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t Server::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [pid, cube] : catalog_) bytes += cube->byte_size();
+  return bytes;
+}
+
+}  // namespace climate::datacube
+
+namespace climate::datacube {
+
+common::Result<common::Json> Server::execute(const common::Json& request) {
+  using common::Json;
+  const std::string op = request.get_string("operator");
+  if (op.empty()) return Status::InvalidArgument("request has no 'operator'");
+
+  auto pid_response = [](Result<std::string> pid) -> Result<Json> {
+    if (!pid.ok()) return pid.status();
+    Json response = Json::object();
+    response["status"] = "OK";
+    response["cube"] = *pid;
+    return response;
+  };
+  const std::string cube = request.get_string("cube");
+  const std::string description = request.get_string("description");
+
+  if (op == "importnc") {
+    ImportOptions options;
+    options.nfragments = static_cast<std::size_t>(request.get_int("nfragments", 0));
+    options.implicit_dim = request.get_string("implicit_dim");
+    return pid_response(importnc(request.get_string("path"), request.get_string("measure"),
+                                 options));
+  }
+  if (op == "exportnc") {
+    const Status st = exportnc(cube, request.get_string("path"));
+    if (!st.ok()) return st;
+    Json response = Json::object();
+    response["status"] = "OK";
+    return response;
+  }
+  if (op == "reduce") {
+    auto parsed = parse_reduce_op(request.get_string("operation", "max"));
+    if (!parsed.ok()) return parsed.status();
+    return pid_response(reduce(cube, *parsed,
+                               static_cast<std::size_t>(request.get_int("group", 0)),
+                               description));
+  }
+  if (op == "apply") {
+    return pid_response(apply(cube, request.get_string("query"), description));
+  }
+  if (op == "intercube") {
+    auto parsed = parse_inter_op(request.get_string("operation", "sub"));
+    if (!parsed.ok()) return parsed.status();
+    return pid_response(intercube(cube, request.get_string("cube2"), *parsed, description));
+  }
+  if (op == "subset") {
+    return pid_response(subset(cube, request.get_string("dim"),
+                               static_cast<std::size_t>(request.get_int("start", 0)),
+                               static_cast<std::size_t>(request.get_int("end", 0)), description));
+  }
+  if (op == "mergecubes") {
+    return pid_response(merge(cube, request.get_string("cube2"), description));
+  }
+  if (op == "concat") {
+    return pid_response(concat_implicit(cube, request.get_string("cube2"), description));
+  }
+  if (op == "aggregate") {
+    auto parsed = parse_reduce_op(request.get_string("operation", "avg"));
+    if (!parsed.ok()) return parsed.status();
+    return pid_response(aggregate(cube, request.get_string("dim"), *parsed, description));
+  }
+  if (op == "delete") {
+    const Status st = delete_cube(cube);
+    if (!st.ok()) return st;
+    Json response = Json::object();
+    response["status"] = "OK";
+    return response;
+  }
+  if (op == "cubeschema") {
+    auto schema = cubeschema(cube);
+    if (!schema.ok()) return schema.status();
+    Json response = Json::object();
+    response["status"] = "OK";
+    response["measure"] = schema->measure;
+    response["description"] = schema->description;
+    response["elements"] = schema->element_count;
+    response["fragments"] = schema->fragment_count;
+    Json dims = Json::array();
+    for (const DimInfo& dim : schema->explicit_dims) {
+      Json d = Json::object();
+      d["name"] = dim.name;
+      d["size"] = dim.size;
+      dims.push_back(std::move(d));
+    }
+    response["explicit_dims"] = std::move(dims);
+    Json implicit = Json::object();
+    implicit["name"] = schema->implicit_dim.name;
+    implicit["size"] = schema->implicit_dim.size;
+    response["implicit_dim"] = std::move(implicit);
+    return response;
+  }
+  if (op == "list") {
+    Json response = Json::object();
+    response["status"] = "OK";
+    Json cubes = Json::array();
+    for (const std::string& pid : list_cubes()) cubes.push_back(pid);
+    response["cubes"] = std::move(cubes);
+    return response;
+  }
+  if (op == "metadata") {
+    const std::string key = request.get_string("key");
+    if (!key.empty() && request.contains("value")) {
+      const Status st = set_metadata(cube, key, request.get_string("value"));
+      if (!st.ok()) return st;
+      Json response = Json::object();
+      response["status"] = "OK";
+      return response;
+    }
+    auto meta = metadata(cube);
+    if (!meta.ok()) return meta.status();
+    Json response = Json::object();
+    response["status"] = "OK";
+    Json entries = Json::object();
+    for (const auto& [k, v] : *meta) entries[k] = v;
+    response["metadata"] = std::move(entries);
+    return response;
+  }
+  return Status::Unimplemented("unknown operator '" + op + "'");
+}
+
+}  // namespace climate::datacube

@@ -1,0 +1,204 @@
+// The datacube framework server — this repository's Ophidia equivalent
+// (paper section 4.2.2).
+//
+// Architecture, mirroring the original: a front-end (this Server class,
+// which the client-side bindings talk to) dispatches data-processing
+// operators to a pool of I/O servers that hold the cube fragments in memory
+// and process them in parallel. Cubes are immutable: every operator
+// registers a new cube in the catalog and returns its PID; intermediate
+// results therefore stay in memory between operators (the paper's "Ophidia
+// can store the datasets in memory between different operators' execution"),
+// and the number of I/O servers can be scaled up dynamically (experiment E4).
+//
+// Disk I/O happens only in importnc/exportnc and is counted in the stats,
+// which is what the in-memory-reuse experiment (E3) measures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "datacube/cube.hpp"
+#include "datacube/expression.hpp"
+
+namespace climate::datacube {
+
+/// Reduction operators over the implicit (array) dimension.
+enum class ReduceOp { kMax, kMin, kSum, kAvg, kStd, kCount };
+
+/// Parses "max"/"min"/"sum"/"avg"/"std"/"count".
+Result<ReduceOp> parse_reduce_op(const std::string& name);
+
+/// Element-wise binary cube operators.
+enum class InterOp { kAdd, kSub, kMul, kDiv, kMask };
+
+/// Parses "add"/"sub"/"mul"/"div"/"mask".
+Result<InterOp> parse_inter_op(const std::string& name);
+
+/// Aggregate framework counters (reads are disk operations; everything else
+/// happens in memory).
+struct ServerStats {
+  std::uint64_t operators_executed = 0;
+  std::uint64_t disk_reads = 0;          ///< Variable reads from CDF-lite files.
+  std::uint64_t disk_bytes_read = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t disk_bytes_written = 0;
+  std::uint64_t elements_processed = 0;  ///< Cube elements touched by operators.
+  std::uint64_t cubes_created = 0;
+  std::uint64_t cubes_deleted = 0;
+};
+
+/// Cube metadata snapshot returned by cubeschema().
+struct CubeSchema {
+  std::string pid;
+  std::string measure;
+  std::string description;
+  std::vector<DimInfo> explicit_dims;
+  DimInfo implicit_dim;
+  std::size_t fragment_count = 0;
+  std::size_t element_count = 0;
+  std::size_t byte_size = 0;
+};
+
+/// Options for importnc.
+struct ImportOptions {
+  /// Number of fragments; 0 picks one per I/O server.
+  std::size_t nfragments = 0;
+  /// Variable holding the implicit (array) dimension; empty = the variable's
+  /// last dimension.
+  std::string implicit_dim;
+};
+
+/// The framework front-end + I/O server pool.
+class Server {
+ public:
+  /// Starts the framework with `io_servers` in-memory I/O servers.
+  explicit Server(std::size_t io_servers = 2);
+
+  /// Scales the I/O server pool (paper: "the number of Ophidia computing
+  /// components can be scaled up, also dynamically"). Existing cubes keep
+  /// their fragmentation; processing parallelism changes immediately.
+  void set_io_servers(std::size_t count);
+  std::size_t io_servers() const;
+
+  // ----- data ingestion / egress ------------------------------------------
+
+  /// Loads a variable from a CDF-lite file into a new cube.
+  Result<std::string> importnc(const std::string& path, const std::string& variable,
+                               const ImportOptions& options = {});
+
+  /// Creates a cube from an in-memory dense buffer (the fast path used when
+  /// data is already resident, e.g. handed over by the workflow runtime).
+  Result<std::string> create_cube(std::string measure, std::vector<DimInfo> explicit_dims,
+                                  DimInfo implicit_dim, const std::vector<float>& dense,
+                                  std::string description = "");
+
+  /// Writes a cube to a CDF-lite file (dimensions, coordinates, measure).
+  Status exportnc(const std::string& pid, const std::string& path);
+
+  // ----- operators (each returns the PID of a new cube) -------------------
+
+  /// Reduces the implicit dimension. group_size 0 collapses the whole array
+  /// to one value; g > 0 aggregates every g consecutive elements (Ophidia's
+  /// reduce2 flavour, e.g. daily -> monthly).
+  Result<std::string> reduce(const std::string& pid, ReduceOp op, std::size_t group_size = 0,
+                             const std::string& description = "");
+
+  /// Applies an array expression per row (Ophidia apply + array primitives).
+  Result<std::string> apply(const std::string& pid, const std::string& expression,
+                            const std::string& description = "");
+
+  /// Element-wise binary operator between two shape-identical cubes.
+  Result<std::string> intercube(const std::string& pid_a, const std::string& pid_b, InterOp op,
+                                const std::string& description = "");
+
+  /// Subsets a dimension by inclusive index range [start, end].
+  Result<std::string> subset(const std::string& pid, const std::string& dim_name,
+                             std::size_t start, std::size_t end,
+                             const std::string& description = "");
+
+  /// Concatenates two cubes along the first explicit dimension (schemas must
+  /// otherwise match).
+  Result<std::string> merge(const std::string& pid_a, const std::string& pid_b,
+                            const std::string& description = "");
+
+  /// Concatenates two cubes along the implicit (array) dimension — how a
+  /// year cube is assembled from shorter segments (Ophidia's mergecubes2
+  /// flavour). Explicit dimensions must match.
+  Result<std::string> concat_implicit(const std::string& pid_a, const std::string& pid_b,
+                                      const std::string& description = "");
+
+  /// Collapses one explicit dimension with a reduction (spatial
+  /// aggregation, e.g. the zonal/global means of post-processing). The
+  /// resulting cube keeps the remaining explicit dims and the implicit dim.
+  Result<std::string> aggregate(const std::string& pid, const std::string& dim_name, ReduceOp op,
+                                const std::string& description = "");
+
+  // ----- catalog ----------------------------------------------------------
+
+  /// Removes a cube from the catalog, freeing its memory.
+  Status delete_cube(const std::string& pid);
+
+  /// Schema/metadata snapshot of a cube.
+  Result<CubeSchema> cubeschema(const std::string& pid) const;
+
+  /// Immutable cube contents (shared; survives catalog deletion).
+  Result<std::shared_ptr<const CubeData>> get(const std::string& pid) const;
+
+  /// Dense row-major copy of a cube's values.
+  Result<std::vector<float>> fetch_dense(const std::string& pid) const;
+
+  /// All catalogued PIDs, in creation order.
+  std::vector<std::string> list_cubes() const;
+
+  /// Key/value metadata attached to cubes.
+  Status set_metadata(const std::string& pid, const std::string& key, const std::string& value);
+  Result<std::map<std::string, std::string>> metadata(const std::string& pid) const;
+
+  ServerStats stats() const;
+
+  /// Total bytes of all catalogued cubes (in-memory footprint).
+  std::size_t resident_bytes() const;
+
+  // ----- textual operator dispatch ----------------------------------------
+
+  /// Executes one operator from a JSON request, the wire-level submission
+  /// format of the framework (what the client bindings send in the
+  /// original's client/server split):
+  ///
+  ///   {"operator": "reduce", "cube": "<pid>", "operation": "max"}
+  ///   {"operator": "apply", "cube": "<pid>", "query": "predicate(x,'>0',1,0)"}
+  ///   {"operator": "intercube", "cube": a, "cube2": b, "operation": "sub"}
+  ///   {"operator": "subset", "cube": pid, "dim": "t", "start": 0, "end": 9}
+  ///   {"operator": "importnc", "path": ..., "measure": ...}
+  ///   {"operator": "exportnc", "cube": pid, "path": ...}
+  ///   {"operator": "delete", "cube": pid} / {"operator": "cubeschema", ...}
+  ///   {"operator": "aggregate", "cube": pid, "dim": ..., "operation": ...}
+  ///   {"operator": "mergecubes", ...} / {"operator": "concat", ...}
+  ///   {"operator": "list"}
+  ///
+  /// Responses carry {"status": "OK", "cube": "<new pid>"} (or the operator's
+  /// own payload); failures return the error Status.
+  Result<common::Json> execute(const common::Json& request);
+
+ private:
+  std::string register_cube(CubeData cube);
+  Result<std::shared_ptr<const CubeData>> lookup(const std::string& pid) const;
+  /// Runs `fn(fragment_index)` across the I/O-server pool.
+  void run_fragments(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  mutable std::mutex mutex_;  // guards catalog, stats, pool swaps
+  std::map<std::string, std::shared_ptr<const CubeData>> catalog_;
+  std::vector<std::string> creation_order_;
+  std::map<std::string, std::map<std::string, std::string>> metadata_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::size_t io_servers_ = 0;
+  std::uint64_t next_id_ = 1;
+  ServerStats stats_;
+};
+
+}  // namespace climate::datacube

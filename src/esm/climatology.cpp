@@ -1,0 +1,80 @@
+#include "esm/climatology.hpp"
+
+#include <cmath>
+
+#include "common/grid.hpp"
+
+namespace climate::esm {
+
+using common::deg_to_rad;
+using common::kPi;
+
+double mean_temperature_c(double lat_deg) {
+  const double s = std::sin(deg_to_rad(lat_deg));
+  return 28.0 - 50.0 * s * s;  // ~28 degC at the equator, ~-22 degC at poles
+}
+
+double seasonal_amplitude_c(double lat_deg) {
+  const double a = std::fabs(lat_deg) / 90.0;
+  const double hemisphere_boost = lat_deg > 0 ? 1.25 : 1.0;  // NH continentality
+  return 16.0 * a * hemisphere_boost;
+}
+
+double seasonal_phase(double lat_deg, int day_of_year, int days_per_year) {
+  const double peak = lat_deg >= 0 ? kNorthSummerPeakDay
+                                   : kNorthSummerPeakDay - days_per_year / 2.0;
+  return std::cos(2.0 * kPi * (day_of_year - peak) / static_cast<double>(days_per_year));
+}
+
+double baseline_temperature_c(double lat_deg, int day_of_year, int days_per_year) {
+  return mean_temperature_c(lat_deg) +
+         seasonal_amplitude_c(lat_deg) * seasonal_phase(lat_deg, day_of_year, days_per_year);
+}
+
+double diurnal_cycle_c(int step_of_day, int steps_per_day) {
+  // Peak at ~14h local (step index steps/2 for 4 six-hourly steps).
+  const double phase = 2.0 * kPi * (static_cast<double>(step_of_day) + 0.5) /
+                           static_cast<double>(steps_per_day) -
+                       kPi * 0.75;
+  return 4.0 * std::cos(phase);
+}
+
+double baseline_sst_c(double lat_deg, int day_of_year, int days_per_year) {
+  const double s = std::sin(deg_to_rad(lat_deg));
+  const double mean = 29.0 - 32.0 * s * s;
+  const double seasonal = 3.5 * (std::fabs(lat_deg) / 90.0) *
+                          seasonal_phase(lat_deg, day_of_year, days_per_year);
+  const double sst = mean + seasonal;
+  return sst < -1.8 ? -1.8 : sst;  // sea water freezing point
+}
+
+double baseline_psl_hpa(double lat_deg) {
+  const double rad = deg_to_rad(lat_deg);
+  // Subtropical highs near +-30, subpolar lows near +-60.
+  return 1013.0 + 7.0 * std::cos(3.0 * rad) * std::cos(rad);
+}
+
+double background_u_ms(double lat_deg) {
+  const double rad = deg_to_rad(lat_deg);
+  // Easterlies in the tropics, westerlies in midlatitudes.
+  return -6.0 * std::cos(3.0 * rad) + 4.0 * std::sin(rad) * std::sin(rad);
+}
+
+double background_v_ms(double lat_deg) {
+  const double rad = deg_to_rad(lat_deg);
+  return 1.2 * std::sin(2.0 * rad) * std::cos(rad);
+}
+
+double baseline_precip_mmday(double lat_deg, int day_of_year, int days_per_year) {
+  // ITCZ: sharp tropical peak wandering seasonally across the equator.
+  const double itcz_lat = 8.0 * seasonal_phase(10.0, day_of_year, days_per_year);
+  const double d_itcz = (lat_deg - itcz_lat) / 8.0;
+  const double itcz = 9.0 * std::exp(-d_itcz * d_itcz);
+  // Midlatitude storm tracks near +-45.
+  const double d_north = (lat_deg - 45.0) / 14.0;
+  const double d_south = (lat_deg + 45.0) / 14.0;
+  const double tracks = 3.5 * (std::exp(-d_north * d_north) + std::exp(-d_south * d_south));
+  return 0.4 + itcz + tracks;
+}
+
+}  // namespace climate::esm

@@ -1,0 +1,48 @@
+// Analytic baseline climate of the reduced-physics model: latitude- and
+// season-dependent temperatures, sea-surface temperatures, pressure belts
+// and background winds. These are the deterministic "historical averages"
+// the heat/cold-wave definitions compare against (paper section 5.3), so
+// both the model and the extremes module share them.
+#pragma once
+
+#include <cstddef>
+
+namespace climate::esm {
+
+/// Day-of-year of peak summer warmth in the northern hemisphere.
+inline constexpr int kNorthSummerPeakDay = 196;
+
+/// Mean near-surface air temperature [degC] by latitude (no season).
+double mean_temperature_c(double lat_deg);
+
+/// Seasonal amplitude [degC] by latitude (larger toward the poles, stronger
+/// over the NH to mimic continentality).
+double seasonal_amplitude_c(double lat_deg);
+
+/// Seasonal cycle value in [-1, 1] for a latitude and day of year (peaks in
+/// local summer).
+double seasonal_phase(double lat_deg, int day_of_year, int days_per_year);
+
+/// Baseline near-surface temperature [degC] for latitude and day of year.
+double baseline_temperature_c(double lat_deg, int day_of_year, int days_per_year);
+
+/// Diurnal deviation [degC] for a six-hourly step index (0..steps-1), with
+/// the warm peak in the early-afternoon step.
+double diurnal_cycle_c(int step_of_day, int steps_per_day);
+
+/// Baseline sea-surface temperature [degC] by latitude and season.
+double baseline_sst_c(double lat_deg, int day_of_year, int days_per_year);
+
+/// Baseline sea-level pressure [hPa]: subtropical highs, subpolar lows.
+double baseline_psl_hpa(double lat_deg);
+
+/// Background zonal wind [m/s]: easterly trades, midlatitude westerlies.
+double background_u_ms(double lat_deg);
+
+/// Background meridional wind [m/s] (weak Hadley return flow).
+double background_v_ms(double lat_deg);
+
+/// Baseline convective precipitation rate [mm/day]: ITCZ + storm tracks.
+double baseline_precip_mmday(double lat_deg, int day_of_year, int days_per_year);
+
+}  // namespace climate::esm

@@ -1,0 +1,71 @@
+// Tropical-cyclone process model: genesis over warm tropical oceans,
+// beta-drift + steering motion with recurvature, intensity life cycle, and
+// the field imprints (pressure depression, cyclonic winds, warm core, heavy
+// precipitation) that the detection pipelines of section 5.4 look for.
+//
+// Every spawned cyclone is recorded in the ground-truth log with its full
+// six-hourly track, enabling exact skill scoring of the ML and deterministic
+// detectors.
+#pragma once
+
+#include <vector>
+
+#include "esm/config.hpp"
+#include "esm/events.hpp"
+
+namespace climate::esm {
+
+/// A currently active cyclone.
+struct ActiveCyclone {
+  int id = 0;
+  double lat = 0.0;
+  double lon = 0.0;
+  double intensity = 0.0;     ///< 0..1 life-cycle intensity factor.
+  int age_steps = 0;
+  int lifetime_steps = 0;
+  std::uint64_t spawn_key = 0;  ///< Randomness key for per-cyclone noise.
+
+  /// Peak central pressure depression at this intensity [hPa].
+  double depression_hpa() const { return 55.0 * intensity; }
+  /// Peak tangential wind at this intensity [m/s].
+  double max_wind_ms() const { return 17.0 + 38.0 * intensity; }
+  /// Central pressure [hPa].
+  double central_psl_hpa() const { return 1008.0 - depression_hpa(); }
+};
+
+/// Deterministic cyclone generator and field imprinter.
+class CycloneModel {
+ public:
+  explicit CycloneModel(const EsmConfig& config);
+
+  /// Advances genesis/motion/decay to global step `step` (call once per
+  /// step, in order). Appends to the truth log.
+  void step(int step);
+
+  const std::vector<ActiveCyclone>& active() const { return active_; }
+  const std::vector<CycloneTruth>& truth() const { return truth_; }
+
+  /// Seasonal genesis weight in [0,1] for a hemisphere and day of year.
+  double season_weight(bool northern, int day_of_year) const;
+
+  // --- field imprints at a point (sum over active cyclones) ---
+  double psl_anomaly_hpa(double lat, double lon) const;
+  void wind_anomaly_ms(double lat, double lon, double* du, double* dv) const;
+  double warm_core_c(double lat, double lon) const;
+  double precip_mmday(double lat, double lon) const;
+
+ private:
+  void spawn(int step);
+  void advance(ActiveCyclone& tc, int step) const;
+
+  EsmConfig config_;
+  std::vector<ActiveCyclone> active_;
+  std::vector<CycloneTruth> truth_;
+  int next_id_ = 1;
+};
+
+/// Angular distance helper used by the imprints: degrees separation between
+/// two points with longitude wrap and latitude compression.
+double angular_distance_deg(double lat1, double lon1, double lat2, double lon2);
+
+}  // namespace climate::esm

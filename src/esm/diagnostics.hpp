@@ -1,0 +1,51 @@
+// Online diagnostics (paper section 3: "in some cases, a part of the
+// analysis is already performed online during model simulations with the
+// goal of pre-computing some relevant statistics or simple indicators useful
+// for validating the results (e.g., diagnostics)").
+//
+// The recorder accumulates one row of global indicators per simulated day,
+// computed from the fields the model just produced — no extra model state —
+// and can persist the series as a CDF-lite file for later inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "common/status.hpp"
+#include "esm/model.hpp"
+
+namespace climate::esm {
+
+/// One day's global indicators.
+struct DailyDiagnostics {
+  int day_of_run = 0;
+  double global_mean_tas_c = 0.0;    ///< Area-weighted near-surface mean.
+  double global_mean_pr_mmday = 0.0; ///< Area-weighted precipitation.
+  double min_psl_hpa = 0.0;          ///< Deepest low anywhere (TC indicator).
+  double max_wspd_ms = 0.0;          ///< Strongest wind anywhere.
+  double ice_area_fraction = 0.0;    ///< Area-weighted sea-ice cover.
+  double max_tas_anomaly_c = 0.0;    ///< Hottest spot vs the day's global mean.
+};
+
+/// Accumulates per-day diagnostics rows during a run.
+class DiagnosticsRecorder {
+ public:
+  /// Computes and appends the row for one day's output.
+  const DailyDiagnostics& record(const DailyFields& day, const common::LatLonGrid& grid);
+
+  const std::vector<DailyDiagnostics>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  /// Persists all rows as a CDF-lite file (one variable per indicator over
+  /// the "day" dimension).
+  common::Status save(const std::string& path) const;
+
+  /// Loads a previously saved diagnostics series.
+  static common::Result<std::vector<DailyDiagnostics>> load(const std::string& path);
+
+ private:
+  std::vector<DailyDiagnostics> rows_;
+};
+
+}  // namespace climate::esm

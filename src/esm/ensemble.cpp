@@ -1,0 +1,60 @@
+#include "esm/ensemble.hpp"
+
+#include <cmath>
+
+namespace climate::esm {
+
+EnsembleDriver::EnsembleDriver(const EsmConfig& config, const ForcingTable& forcing, int members)
+    : config_(config), forcing_(forcing), members_(members < 1 ? 1 : members) {}
+
+std::uint64_t EnsembleDriver::member_seed(int member) const {
+  if (member == 0) return config_.seed;
+  // Decorrelate members deterministically from the base seed.
+  return hash_mix(config_.seed, 0xE45E3B1E, static_cast<std::uint64_t>(member), 0);
+}
+
+std::vector<EnsembleDay> EnsembleDriver::run(
+    int days, const std::function<void(int member, const DailyFields&)>& on_member_day) {
+  const common::LatLonGrid grid(config_.nlat, config_.nlon);
+  // Welford accumulators per day per cell.
+  std::vector<common::Field> mean(static_cast<std::size_t>(days), common::Field(grid));
+  std::vector<common::Field> m2(static_cast<std::size_t>(days), common::Field(grid));
+
+  for (int member = 0; member < members_; ++member) {
+    EsmConfig member_config = config_;
+    member_config.seed = member_seed(member);
+    EsmModel model(member_config, forcing_);
+    for (int day = 0; day < days; ++day) {
+      const DailyFields fields = model.run_day();
+      if (on_member_day) on_member_day(member, fields);
+      common::Field& mu = mean[static_cast<std::size_t>(day)];
+      common::Field& acc = m2[static_cast<std::size_t>(day)];
+      const double n = static_cast<double>(member + 1);
+      for (std::size_t c = 0; c < grid.size(); ++c) {
+        const double x = fields.tas[c];
+        const double delta = x - mu[c];
+        mu[c] += static_cast<float>(delta / n);
+        acc[c] += static_cast<float>(delta * (x - mu[c]));
+      }
+    }
+  }
+
+  std::vector<EnsembleDay> out;
+  out.reserve(static_cast<std::size_t>(days));
+  for (int day = 0; day < days; ++day) {
+    EnsembleDay e;
+    e.day_of_run = day;
+    e.mean = mean[static_cast<std::size_t>(day)];
+    e.spread = common::Field(grid);
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      e.spread[c] = members_ > 1
+                        ? std::sqrt(std::max(0.0f, m2[static_cast<std::size_t>(day)][c] /
+                                                       static_cast<float>(members_)))
+                        : 0.0f;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace climate::esm

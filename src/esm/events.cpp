@@ -1,0 +1,46 @@
+#include "esm/events.hpp"
+
+#include <cmath>
+
+namespace climate::esm {
+
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  // SplitMix64 over a combination of the four words.
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ull ^ b * 0xBF58476D1CE4E5B9ull ^
+                    c * 0x94D049BB133111EBull ^ d * 0xD6E8FEB86659FD93ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+double hash_uniform(std::uint64_t seed, std::uint64_t tag, std::uint64_t a, std::uint64_t b) {
+  return static_cast<double>(hash_mix(seed, tag, a, b) >> 11) * 0x1.0p-53;
+}
+
+double hash_normal(std::uint64_t seed, std::uint64_t tag, std::uint64_t a, std::uint64_t b) {
+  // Box-Muller from two decorrelated uniforms.
+  double u1 = hash_uniform(seed, tag ^ 0x5555555555555555ull, a, b);
+  const double u2 = hash_uniform(seed, tag ^ 0xAAAAAAAAAAAAAAAAull, a, b);
+  if (u1 <= 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+int hash_poisson(double mean, std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                 std::uint64_t b) {
+  if (mean <= 0.0) return 0;
+  double u = hash_uniform(seed, tag, a, b);
+  double p = std::exp(-mean);
+  double cumulative = p;
+  int k = 0;
+  while (u > cumulative && k < 64) {
+    ++k;
+    p *= mean / static_cast<double>(k);
+    cumulative += p;
+  }
+  return k;
+}
+
+}  // namespace climate::esm

@@ -1,0 +1,48 @@
+// Greenhouse-gas forcing. Matching section 4.2.3 ("greenhouse gases
+// concentrations ... provided year by year through I/O"), concentrations are
+// materialized as a small CDF-lite file which the model reads back at the
+// start of every simulated year.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "esm/config.hpp"
+
+namespace climate::esm {
+
+using common::Result;
+using common::Status;
+
+/// Yearly CO2-equivalent concentrations [ppm].
+class ForcingTable {
+ public:
+  ForcingTable() = default;
+
+  /// Builds a table for `years` consecutive years from `start_year` under a
+  /// scenario (piecewise growth rates approximating the published pathways).
+  static ForcingTable from_scenario(Scenario scenario, int start_year, int years);
+
+  /// Concentration for a calendar year (clamped to the table range).
+  double co2_ppm(int year) const;
+
+  /// Radiative warming offset for a year [degC] relative to pre-industrial
+  /// 280 ppm, using sensitivity degC-per-doubling.
+  double warming_c(int year, double sensitivity_c) const;
+
+  int start_year() const { return start_year_; }
+  std::size_t years() const { return co2_.size(); }
+
+  /// Persists as a CDF-lite file (variable "co2_ppm" over dimension "year").
+  Status save(const std::string& path) const;
+
+  /// Loads a table previously written by save().
+  static Result<ForcingTable> load(const std::string& path);
+
+ private:
+  int start_year_ = 0;
+  std::vector<double> co2_;
+};
+
+}  // namespace climate::esm

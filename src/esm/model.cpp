@@ -1,0 +1,320 @@
+#include "esm/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "esm/climatology.hpp"
+
+namespace climate::esm {
+namespace {
+
+/// Coarse-grid cell size for coherent noise (in grid cells).
+constexpr std::size_t kNoiseCoarse = 6;
+
+Field make_field(const LatLonGrid& grid, float fill = 0.0f) { return Field(grid, fill); }
+
+}  // namespace
+
+EsmModel::EsmModel(const EsmConfig& config, const ForcingTable& forcing)
+    : EsmModel(config, forcing, 0, config.nlat) {}
+
+EsmModel::EsmModel(const EsmConfig& config, const ForcingTable& forcing, std::size_t row_begin,
+                   std::size_t row_end)
+    : config_(config),
+      forcing_(forcing),
+      grid_(config.nlat, config.nlon),
+      row_begin_(row_begin),
+      row_end_(row_end),
+      t_anom_(grid_),
+      sst_(grid_),
+      cyclones_(config) {
+  // Initialize the slab ocean at its day-0 climatology (all rows so the halo
+  // region is sane too; only owned rows evolve).
+  for (std::size_t i = 0; i < grid_.nlat(); ++i) {
+    const float sst0 = static_cast<float>(baseline_sst_c(grid_.lat(i), 0, config_.days_per_year));
+    for (std::size_t j = 0; j < grid_.nlon(); ++j) sst_.at(i, j) = sst0;
+  }
+}
+
+double EsmModel::coherent_noise(std::uint64_t tag, int t, std::size_t i, std::size_t j) const {
+  // Bilinear interpolation of hash noise on a coarse grid; periodic in
+  // longitude, clamped in latitude. Pure function of its arguments.
+  const std::size_t coarse_lon = (grid_.nlon() + kNoiseCoarse - 1) / kNoiseCoarse;
+  const double fi = static_cast<double>(i) / kNoiseCoarse;
+  const double fj = static_cast<double>(j) / kNoiseCoarse;
+  const std::size_t i0 = static_cast<std::size_t>(fi);
+  const std::size_t j0 = static_cast<std::size_t>(fj);
+  const double wi = fi - static_cast<double>(i0);
+  const double wj = fj - static_cast<double>(j0);
+  const std::size_t coarse_lat = (grid_.nlat() + kNoiseCoarse - 1) / kNoiseCoarse;
+  auto node = [&](std::size_t ci, std::size_t cj) {
+    ci = std::min(ci, coarse_lat);  // clamp at the pole
+    cj = cj % (coarse_lon + 1);
+    return hash_normal(config_.seed, tag, static_cast<std::uint64_t>(t),
+                       ci * 100003ull + cj);
+  };
+  const double v00 = node(i0, j0);
+  const double v01 = node(i0, j0 + 1);
+  const double v10 = node(i0 + 1, j0);
+  const double v11 = node(i0 + 1, j0 + 1);
+  return (v00 * (1 - wj) + v01 * wj) * (1 - wi) + (v10 * (1 - wj) + v11 * wj) * wi;
+}
+
+void EsmModel::spawn_thermal_events(int day) {
+  const int doy = day % config_.days_per_year;
+  for (int warm = 0; warm < 2; ++warm) {
+    const double mean =
+        warm ? config_.heatwave_spawn_per_day : config_.coldwave_spawn_per_day;
+    const int count = hash_poisson(mean, config_.seed, 0xB70B + static_cast<std::uint64_t>(warm),
+                                   static_cast<std::uint64_t>(day), 0);
+    for (int k = 0; k < count; ++k) {
+      const std::uint64_t key =
+          hash_mix(config_.seed, 0xB10C + static_cast<std::uint64_t>(warm),
+                   static_cast<std::uint64_t>(day), static_cast<std::uint64_t>(k));
+      ThermalEvent event;
+      event.warm = warm != 0;
+      const double u1 = hash_uniform(key, 1, 0, 0);
+      const double u2 = hash_uniform(key, 2, 0, 0);
+      const double u3 = hash_uniform(key, 3, 0, 0);
+      const double u4 = hash_uniform(key, 4, 0, 0);
+      // Blocking highs favour mid-latitudes; bias warm events to the summer
+      // hemisphere so heat waves cluster seasonally like the real ones.
+      const bool northern_summer = seasonal_phase(45.0, doy, config_.days_per_year) > 0;
+      const bool northern = u1 < (northern_summer == event.warm ? 0.75 : 0.25);
+      event.lat = (northern ? 1.0 : -1.0) * (25.0 + 40.0 * u2);
+      event.lon = 360.0 * u3;
+      event.amplitude_c = (event.warm ? 1.0 : -1.0) * (6.0 + 5.0 * u4);
+      event.radius_deg = 9.0 + 9.0 * hash_uniform(key, 5, 0, 0);
+      event.start_day = day;
+      event.duration_days = 4 + static_cast<int>(11.0 * hash_uniform(key, 6, 0, 0));
+      thermal_events_.push_back(event);
+      log_.thermal_events.push_back(event);
+    }
+  }
+  // Forget long-finished events to keep the active scan short.
+  thermal_events_.erase(
+      std::remove_if(thermal_events_.begin(), thermal_events_.end(),
+                     [day](const ThermalEvent& e) { return day >= e.start_day + e.duration_days; }),
+      thermal_events_.end());
+}
+
+double EsmModel::thermal_anomaly(double lat, double lon, int day) const {
+  double anomaly = 0.0;
+  for (const ThermalEvent& event : thermal_events_) {
+    if (!event.active(day)) continue;
+    const double r = angular_distance_deg(lat, lon, event.lat, event.lon);
+    if (r > 3.0 * event.radius_deg) continue;
+    const double scale = r / event.radius_deg;
+    // Plateau profile: blocking events are broad, not sharp Gaussians.
+    anomaly += event.amplitude_c * std::exp(-scale * scale * scale * scale);
+  }
+  return anomaly;
+}
+
+void EsmModel::wind_at(std::size_t i, std::size_t j, int step, double* u, double* v) const {
+  const double lat = grid_.lat(i);
+  const double lon = grid_.lon(j);
+  double du = 0.0, dv = 0.0;
+  cyclones_.wind_anomaly_ms(lat, lon, &du, &dv);
+  *u = background_u_ms(lat) + du + 1.5 * coherent_noise(0x0AED, step, i, j);
+  *v = background_v_ms(lat) + dv + 1.5 * coherent_noise(0x0AEE, step, i, j);
+}
+
+void EsmModel::update_anomaly(int day) {
+  // Daily AR(1) update with zonal advection and lateral diffusion. Stencil
+  // uses rows [row_begin-1, row_end] (halo rows in band mode).
+  const std::size_t nlat = grid_.nlat();
+  const std::size_t nlon = grid_.nlon();
+  Field next = t_anom_;
+  const double rho = config_.anomaly_persistence;
+  const double sigma = config_.anomaly_noise_c;
+  const double c = config_.advection_cells_per_step;
+  const double k = config_.diffusion;
+  for (std::size_t i = row_begin_; i < row_end_; ++i) {
+    const std::size_t north = i + 1 < nlat ? i + 1 : i;
+    const std::size_t south = i > 0 ? i - 1 : i;
+    for (std::size_t j = 0; j < nlon; ++j) {
+      const std::size_t west = grid_.wrap_lon(static_cast<long>(j) - 1);
+      const std::size_t east = grid_.wrap_lon(static_cast<long>(j) + 1);
+      const double here = t_anom_.at(i, j);
+      const double advected = (1.0 - c) * here + c * t_anom_.at(i, west);
+      const double laplacian = t_anom_.at(north, j) + t_anom_.at(south, j) +
+                               t_anom_.at(i, west) + t_anom_.at(i, east) - 4.0 * here;
+      const double noise = sigma * coherent_noise(0xA40A, day, i, j);
+      next.at(i, j) = static_cast<float>(rho * advected + k * 0.25 * laplacian + noise);
+    }
+  }
+  t_anom_ = std::move(next);
+}
+
+void EsmModel::begin_day(int day) {
+  const int steps = config_.steps_per_day;
+  today_ = DailyFields{};
+  today_.day_of_run = day;
+  today_.day_of_year = day % config_.days_per_year;
+  today_.year = config_.start_year + day / config_.days_per_year;
+  today_.co2_ppm = forcing_.co2_ppm(today_.year);
+  today_.psl.assign(static_cast<std::size_t>(steps), make_field(grid_));
+  today_.ua850.assign(static_cast<std::size_t>(steps), make_field(grid_));
+  today_.va850.assign(static_cast<std::size_t>(steps), make_field(grid_));
+  today_.wspd.assign(static_cast<std::size_t>(steps), make_field(grid_));
+  today_.vort850.assign(static_cast<std::size_t>(steps), make_field(grid_));
+  today_.pr6h.assign(static_cast<std::size_t>(steps), make_field(grid_));
+  today_.tas = make_field(grid_);
+  today_.tasmin = make_field(grid_, 1e30f);
+  today_.tasmax = make_field(grid_, -1e30f);
+  today_.pr = make_field(grid_);
+  today_.sst = make_field(grid_);
+  today_.sic = make_field(grid_);
+  today_.ts = make_field(grid_);
+  today_.hfls = make_field(grid_);
+  today_.hfss = make_field(grid_);
+  today_.clt = make_field(grid_);
+  today_.rh = make_field(grid_);
+  today_.zg500 = make_field(grid_);
+  today_.uas = make_field(grid_);
+  today_.vas = make_field(grid_);
+  day_open_ = true;
+}
+
+void EsmModel::step() {
+  const int step = step_count_;
+  const int steps = config_.steps_per_day;
+  const int day = step / steps;
+  const int step_of_day = step % steps;
+  const int doy = day % config_.days_per_year;
+  const int year = config_.start_year + day / config_.days_per_year;
+
+  if (step_of_day == 0) {
+    spawn_thermal_events(day);
+    update_anomaly(day);
+    begin_day(day);
+  }
+
+  cyclones_.step(step);
+
+  const double warming = forcing_.warming_c(year, config_.climate_sensitivity_c);
+  const double diurnal = diurnal_cycle_c(step_of_day, steps);
+  const double inv_steps = 1.0 / static_cast<double>(steps);
+
+  // Coupler exchange accumulators for this step.
+  double heat_integral = 0.0;
+  double momentum_integral = 0.0;
+  double freshwater_integral = 0.0;
+
+  const std::size_t nlon = grid_.nlon();
+  for (std::size_t i = row_begin_; i < row_end_; ++i) {
+    const double lat = grid_.lat(i);
+    const double weight = grid_.area_weight(i);
+    const double t_base = baseline_temperature_c(lat, doy, config_.days_per_year);
+    const double psl_base = baseline_psl_hpa(lat);
+    const double pr_base = baseline_precip_mmday(lat, doy, config_.days_per_year);
+    const double sst_clim = baseline_sst_c(lat, doy, config_.days_per_year);
+    for (std::size_t j = 0; j < nlon; ++j) {
+      const double lon = grid_.lon(j);
+
+      // --- atmosphere instantaneous state ---
+      const double blob = thermal_anomaly(lat, lon, day);
+      const double warm_core = cyclones_.warm_core_c(lat, lon);
+      const double temp = t_base + diurnal + warming + t_anom_.at(i, j) + blob + warm_core;
+      const double psl = psl_base + cyclones_.psl_anomaly_hpa(lat, lon) -
+                         0.45 * t_anom_.at(i, j) + 2.2 * coherent_noise(0x9811, step, i, j);
+      double u, v;
+      wind_at(i, j, step, &u, &v);
+      const double convective = std::max(0.0, t_anom_.at(i, j) + blob - 2.0) * 1.3;
+      const double pr_rate = std::max(
+          0.0, pr_base * (1.0 + 0.35 * coherent_noise(0x9812, step, i, j)) + convective +
+                   cyclones_.precip_mmday(lat, lon));
+
+      // Vorticity from pointwise wind evaluation at neighbours (units 1e-5/s
+      // with the grid spacing absorbed into the scale).
+      double un, us, ve, vw;
+      {
+        double tmp_v;
+        const std::size_t north = i + 1 < grid_.nlat() ? i + 1 : i;
+        const std::size_t south = i > 0 ? i - 1 : i;
+        wind_at(north, j, step, &un, &tmp_v);
+        wind_at(south, j, step, &us, &tmp_v);
+        double tmp_u;
+        wind_at(i, grid_.wrap_lon(static_cast<long>(j) + 1), step, &tmp_u, &ve);
+        wind_at(i, grid_.wrap_lon(static_cast<long>(j) - 1), step, &tmp_u, &vw);
+      }
+      const double cell_km = 111.0 * grid_.dlat();
+      const double vort = ((ve - vw) - (un - us)) / (2.0 * cell_km * 1000.0) * 1e5;
+
+      // --- coupler: atmosphere -> ocean fluxes ---
+      const double heat_flux = 12.0 * (temp - sst_.at(i, j));  // W/m2
+      const double momentum_flux = 0.02 * std::sqrt(u * u + v * v);
+      heat_integral += weight * heat_flux;
+      momentum_integral += weight * momentum_flux;
+      freshwater_integral += weight * pr_rate;
+
+      // --- ocean step (receives exactly the flux that was sent) ---
+      const double dt_frac = inv_steps;
+      double sst = sst_.at(i, j);
+      sst += dt_frac * (heat_flux / 400.0 - 0.08 * (sst - sst_clim));
+      if (sst < -1.8) sst = -1.8;
+      sst_.at(i, j) = static_cast<float>(sst);
+      const double ice = std::clamp((-0.5 - sst) / 1.3, 0.0, 1.0);
+
+      // --- daily aggregation ---
+      Field& psl_f = today_.psl[static_cast<std::size_t>(step_of_day)];
+      psl_f.at(i, j) = static_cast<float>(psl);
+      today_.ua850[static_cast<std::size_t>(step_of_day)].at(i, j) = static_cast<float>(u);
+      today_.va850[static_cast<std::size_t>(step_of_day)].at(i, j) = static_cast<float>(v);
+      today_.wspd[static_cast<std::size_t>(step_of_day)].at(i, j) =
+          static_cast<float>(std::sqrt(u * u + v * v));
+      today_.vort850[static_cast<std::size_t>(step_of_day)].at(i, j) = static_cast<float>(vort);
+      today_.pr6h[static_cast<std::size_t>(step_of_day)].at(i, j) = static_cast<float>(pr_rate);
+
+      today_.tas.at(i, j) += static_cast<float>(temp * inv_steps);
+      today_.tasmin.at(i, j) = std::min(today_.tasmin.at(i, j), static_cast<float>(temp));
+      today_.tasmax.at(i, j) = std::max(today_.tasmax.at(i, j), static_cast<float>(temp));
+      today_.pr.at(i, j) += static_cast<float>(pr_rate * inv_steps);
+      today_.sst.at(i, j) = static_cast<float>(sst);
+      today_.sic.at(i, j) = static_cast<float>(ice);
+      today_.ts.at(i, j) = static_cast<float>(0.3 * temp + 0.7 * sst);
+      today_.hfls.at(i, j) = static_cast<float>(std::max(0.0, 0.6 * heat_flux));
+      today_.hfss.at(i, j) = static_cast<float>(0.4 * heat_flux);
+      today_.clt.at(i, j) = static_cast<float>(std::clamp(pr_rate / 12.0, 0.02, 0.98));
+      today_.rh.at(i, j) = static_cast<float>(std::clamp(0.45 + pr_rate / 25.0, 0.05, 1.0));
+      today_.zg500.at(i, j) = static_cast<float>(5500.0 + 8.0 * (psl - 1013.0) + 1.8 * temp);
+      today_.uas.at(i, j) = static_cast<float>(0.8 * u);
+      today_.vas.at(i, j) = static_cast<float>(0.8 * v);
+    }
+  }
+
+  // Coupler bookkeeping (exchange happens every coupling_interval_steps).
+  if (step % std::max(1, config_.coupling_interval_steps) == 0) {
+    ++coupler_.exchanges;
+    coupler_.heat_sent_atm += heat_integral;
+    coupler_.heat_received_ocean += heat_integral;  // conservative by construction
+    coupler_.momentum_sent_atm += momentum_integral;
+    coupler_.momentum_received_ocean += momentum_integral;
+    coupler_.freshwater_sent_atm += freshwater_integral;
+    coupler_.freshwater_received_ocean += freshwater_integral;
+  }
+
+  ++step_count_;
+}
+
+DailyFields EsmModel::run_day() {
+  const int steps = config_.steps_per_day;
+  for (int s = 0; s < steps; ++s) step();
+  day_open_ = false;
+  return std::move(today_);
+}
+
+std::vector<float> EsmModel::export_anomaly_row(std::size_t row) const {
+  std::vector<float> values(grid_.nlon());
+  for (std::size_t j = 0; j < grid_.nlon(); ++j) values[j] = t_anom_.at(row, j);
+  return values;
+}
+
+void EsmModel::import_anomaly_row(std::size_t row, const std::vector<float>& values) {
+  for (std::size_t j = 0; j < grid_.nlon() && j < values.size(); ++j) {
+    t_anom_.at(row, j) = values[j];
+  }
+}
+
+}  // namespace climate::esm

@@ -1,0 +1,149 @@
+// CMCC-CM3-lite: the coupled atmosphere-ocean model driving the case-study
+// workflow (paper section 4.2.3, substituted per DESIGN.md).
+//
+// Components:
+//  - Atmosphere: baseline climatology + seasonal/diurnal cycles, a prognostic
+//    AR(1) temperature-anomaly field with zonal advection and lateral
+//    diffusion, GHG-forced warming, blocking-high heat/cold events, and the
+//    cyclone imprints (pressure, wind, warm core, precipitation).
+//  - Ocean: slab ocean receiving the atmosphere's heat flux through the
+//    coupler, relaxing to its own climatology; diagnostic sea-ice cover.
+//  - Coupler: mediates the exchanges each coupling interval ("every few
+//    minutes the heat, momentum and mass fluxes are sent from the atmosphere
+//    to the ocean and the SST, sea ice cover and surface velocities are sent
+//    back") and records conservation diagnostics.
+//
+// Determinism and decomposability: all stochastic terms are counter-mode
+// hash functions of (seed, time, cell), so a domain-decomposed run over the
+// msg/ layer reproduces the serial fields bit-for-bit. The only neighbour
+// dependency is the anomaly advection/diffusion stencil, exposed through the
+// halo-row API used by ParallelEsmDriver.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "esm/config.hpp"
+#include "esm/cyclones.hpp"
+#include "esm/events.hpp"
+#include "esm/forcing.hpp"
+
+namespace climate::esm {
+
+using common::Field;
+using common::LatLonGrid;
+
+/// One simulated day of model output (the contents of one daily NetCDF-like
+/// file: 6-hourly instantaneous fields plus daily statistics, ~20 variables).
+struct DailyFields {
+  int year = 0;
+  int day_of_year = 0;  ///< 0-based.
+  int day_of_run = 0;   ///< 0-based across the whole simulation.
+  double co2_ppm = 0.0;
+
+  // Six-hourly instantaneous fields, one per step of the day.
+  std::vector<Field> psl;      ///< Sea-level pressure [hPa].
+  std::vector<Field> ua850;    ///< Zonal wind at 850 hPa [m/s].
+  std::vector<Field> va850;    ///< Meridional wind [m/s].
+  std::vector<Field> wspd;     ///< Wind speed [m/s].
+  std::vector<Field> vort850;  ///< Relative vorticity [1e-5 1/s].
+  std::vector<Field> pr6h;     ///< Precipitation rate [mm/day].
+
+  // Daily statistics.
+  Field tas;     ///< Mean near-surface temperature [degC].
+  Field tasmin;  ///< Daily minimum [degC].
+  Field tasmax;  ///< Daily maximum [degC].
+  Field pr;      ///< Mean precipitation [mm/day].
+  Field sst;     ///< Sea-surface temperature [degC].
+  Field sic;     ///< Sea-ice fraction [0..1].
+  Field ts;      ///< Surface (skin) temperature [degC].
+  Field hfls;    ///< Latent heat flux [W/m2].
+  Field hfss;    ///< Sensible heat flux [W/m2].
+  Field clt;     ///< Cloud cover fraction [0..1].
+  Field rh;      ///< Relative humidity [0..1].
+  Field zg500;   ///< 500 hPa geopotential height [m].
+  Field uas;     ///< Near-surface zonal wind [m/s].
+  Field vas;     ///< Near-surface meridional wind [m/s].
+};
+
+/// Conservation bookkeeping of the coupler: what the atmosphere sent must
+/// equal what the ocean received.
+struct CouplerDiagnostics {
+  std::uint64_t exchanges = 0;
+  double heat_sent_atm = 0.0;      ///< Area-weighted heat flux integral.
+  double heat_received_ocean = 0.0;
+  double momentum_sent_atm = 0.0;
+  double momentum_received_ocean = 0.0;
+  double freshwater_sent_atm = 0.0;
+  double freshwater_received_ocean = 0.0;
+};
+
+/// The coupled model. Operates on the full grid or, for the decomposed
+/// driver, on a band of latitude rows [row_begin, row_end).
+class EsmModel {
+ public:
+  /// Full-grid model.
+  EsmModel(const EsmConfig& config, const ForcingTable& forcing);
+
+  /// Band model for domain decomposition (rows [row_begin, row_end)).
+  EsmModel(const EsmConfig& config, const ForcingTable& forcing, std::size_t row_begin,
+           std::size_t row_end);
+
+  /// Advances one six-hourly step (all components + coupling).
+  void step();
+
+  /// Runs a full day (steps_per_day steps) and returns its output. Only rows
+  /// [row_begin, row_end) of the fields are populated in band mode.
+  DailyFields run_day();
+
+  /// Day index of the next day to simulate (0-based, whole run).
+  int current_day() const { return step_count_ / config_.steps_per_day; }
+  int current_year() const { return config_.start_year + current_day() / config_.days_per_year; }
+
+  const EsmConfig& config() const { return config_; }
+  const LatLonGrid& grid() const { return grid_; }
+  /// Ground truth of every injected event so far (thermal events + the
+  /// cyclone tracks accumulated by the cyclone component).
+  const EventLog& events() const {
+    log_.cyclones = cyclones_.truth();
+    return log_;
+  }
+  const CouplerDiagnostics& coupler() const { return coupler_; }
+
+  // --- halo API used by the parallel driver (anomaly field rows) ---
+  std::vector<float> export_anomaly_row(std::size_t row) const;
+  void import_anomaly_row(std::size_t row, const std::vector<float>& values);
+  std::size_t row_begin() const { return row_begin_; }
+  std::size_t row_end() const { return row_end_; }
+
+ private:
+  void spawn_thermal_events(int day);
+  double thermal_anomaly(double lat, double lon, int day) const;
+  /// Spatially coherent noise, pure function of (tag, time, cell).
+  double coherent_noise(std::uint64_t tag, int t, std::size_t i, std::size_t j) const;
+  /// Instantaneous wind at a grid point (pointwise-computable, incl. TCs).
+  void wind_at(std::size_t i, std::size_t j, int step, double* u, double* v) const;
+  void update_anomaly(int day);
+  void begin_day(int day);
+
+  EsmConfig config_;
+  ForcingTable forcing_;
+  LatLonGrid grid_;
+  std::size_t row_begin_ = 0;
+  std::size_t row_end_ = 0;
+
+  Field t_anom_;  ///< Prognostic temperature anomaly [degC].
+  Field sst_;     ///< Prognostic slab-ocean temperature [degC].
+
+  CycloneModel cyclones_;
+  std::vector<ThermalEvent> thermal_events_;
+  mutable EventLog log_;  // cyclones refreshed lazily in events()
+  CouplerDiagnostics coupler_;
+
+  int step_count_ = 0;
+  DailyFields today_;
+  bool day_open_ = false;
+};
+
+}  // namespace climate::esm

@@ -1,0 +1,133 @@
+#include "esm/parallel.hpp"
+
+#include <mutex>
+
+#include "msg/communicator.hpp"
+
+namespace climate::esm {
+namespace {
+
+constexpr int kTagHaloUp = 10;    // sending my top boundary row northwards
+constexpr int kTagHaloDown = 11;  // sending my bottom boundary row southwards
+constexpr int kTagGather = 20;
+
+/// Band row range for a rank.
+void band_range(std::size_t nlat, int ranks, int rank, std::size_t* begin, std::size_t* end) {
+  const std::size_t base = nlat / static_cast<std::size_t>(ranks);
+  const std::size_t extra = nlat % static_cast<std::size_t>(ranks);
+  std::size_t b = 0;
+  for (int r = 0; r < rank; ++r) b += base + (static_cast<std::size_t>(r) < extra ? 1 : 0);
+  *begin = b;
+  *end = b + base + (static_cast<std::size_t>(rank) < extra ? 1 : 0);
+}
+
+/// The per-day payload: every daily variable's band rows, concatenated in a
+/// fixed order.
+std::vector<float> pack_band(const DailyFields& day, std::size_t rb, std::size_t re,
+                             std::size_t nlon) {
+  std::vector<float> out;
+  auto pack_field = [&](const Field& field) {
+    for (std::size_t i = rb; i < re; ++i) {
+      for (std::size_t j = 0; j < nlon; ++j) out.push_back(field.at(i, j));
+    }
+  };
+  for (const auto* steps : {&day.psl, &day.ua850, &day.va850, &day.wspd, &day.vort850, &day.pr6h}) {
+    for (const Field& field : *steps) pack_field(field);
+  }
+  for (const Field* field : {&day.tas, &day.tasmin, &day.tasmax, &day.pr, &day.sst, &day.sic,
+                             &day.ts, &day.hfls, &day.hfss, &day.clt, &day.rh, &day.zg500,
+                             &day.uas, &day.vas}) {
+    pack_field(*field);
+  }
+  return out;
+}
+
+void unpack_band(DailyFields& day, std::size_t rb, std::size_t re, std::size_t nlon,
+                 const std::vector<float>& data) {
+  std::size_t pos = 0;
+  auto unpack_field = [&](Field& field) {
+    for (std::size_t i = rb; i < re; ++i) {
+      for (std::size_t j = 0; j < nlon; ++j) field.at(i, j) = data[pos++];
+    }
+  };
+  for (auto* steps : {&day.psl, &day.ua850, &day.va850, &day.wspd, &day.vort850, &day.pr6h}) {
+    for (Field& field : *steps) unpack_field(field);
+  }
+  for (Field* field : {&day.tas, &day.tasmin, &day.tasmax, &day.pr, &day.sst, &day.sic, &day.ts,
+                       &day.hfls, &day.hfss, &day.clt, &day.rh, &day.zg500, &day.uas, &day.vas}) {
+    unpack_field(*field);
+  }
+}
+
+}  // namespace
+
+ParallelEsmDriver::ParallelEsmDriver(const EsmConfig& config, const ForcingTable& forcing,
+                                     int ranks)
+    : config_(config), forcing_(forcing), ranks_(ranks < 1 ? 1 : ranks) {}
+
+void ParallelEsmDriver::run(int days, const std::function<void(const DailyFields&)>& on_day) {
+  std::mutex result_mutex;
+  EventLog captured_events;
+  CouplerDiagnostics captured_coupler{};
+
+  msg::World::run(ranks_, [&](msg::Communicator& comm) {
+    const int rank = comm.rank();
+    const int size = comm.size();
+    std::size_t rb = 0, re = 0;
+    band_range(config_.nlat, size, rank, &rb, &re);
+    EsmModel model(config_, forcing_, rb, re);
+    const std::size_t nlon = config_.nlon;
+
+    for (int day = 0; day < days; ++day) {
+      // Halo exchange: boundary anomaly rows to the neighbouring bands.
+      if (rank + 1 < size) comm.send(rank + 1, kTagHaloUp, model.export_anomaly_row(re - 1));
+      if (rank > 0) comm.send(rank - 1, kTagHaloDown, model.export_anomaly_row(rb));
+      if (rank > 0) model.import_anomaly_row(rb - 1, comm.recv<float>(rank - 1, kTagHaloUp));
+      if (rank + 1 < size) model.import_anomaly_row(re, comm.recv<float>(rank + 1, kTagHaloDown));
+
+      DailyFields band_day = model.run_day();
+
+      // Gather the day's output on rank 0.
+      std::vector<float> payload = pack_band(band_day, rb, re, nlon);
+      if (rank != 0) {
+        comm.send(0, kTagGather, payload);
+      } else {
+        DailyFields full = std::move(band_day);
+        for (int r = 1; r < size; ++r) {
+          std::size_t other_rb = 0, other_re = 0;
+          band_range(config_.nlat, size, r, &other_rb, &other_re);
+          const std::vector<float> other = comm.recv<float>(r, kTagGather);
+          unpack_band(full, other_rb, other_re, nlon, other);
+        }
+        on_day(full);
+      }
+      comm.barrier();
+    }
+
+    if (rank == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      captured_events = model.events();
+    }
+    // Coupler integrals are per-band: sum them across ranks.
+    std::vector<double> integrals = {
+        model.coupler().heat_sent_atm,       model.coupler().heat_received_ocean,
+        model.coupler().momentum_sent_atm,   model.coupler().momentum_received_ocean,
+        model.coupler().freshwater_sent_atm, model.coupler().freshwater_received_ocean};
+    comm.allreduce(integrals, msg::ReduceOp::kSum);
+    if (rank == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      captured_coupler.exchanges = model.coupler().exchanges;
+      captured_coupler.heat_sent_atm = integrals[0];
+      captured_coupler.heat_received_ocean = integrals[1];
+      captured_coupler.momentum_sent_atm = integrals[2];
+      captured_coupler.momentum_received_ocean = integrals[3];
+      captured_coupler.freshwater_sent_atm = integrals[4];
+      captured_coupler.freshwater_received_ocean = integrals[5];
+    }
+  });
+
+  events_ = std::move(captured_events);
+  coupler_ = captured_coupler;
+}
+
+}  // namespace climate::esm

@@ -1,0 +1,161 @@
+#include "esm/writer.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "ncio/ncfile.hpp"
+
+namespace climate::esm {
+namespace {
+
+/// Flattens per-step fields into (lat, lon, time) order.
+std::vector<float> interleave_steps(const std::vector<Field>& steps) {
+  if (steps.empty()) return {};
+  const std::size_t nlat = steps[0].nlat();
+  const std::size_t nlon = steps[0].nlon();
+  const std::size_t nstep = steps.size();
+  std::vector<float> out(nlat * nlon * nstep);
+  for (std::size_t i = 0; i < nlat; ++i) {
+    for (std::size_t j = 0; j < nlon; ++j) {
+      float* cell = out.data() + (i * nlon + j) * nstep;
+      for (std::size_t s = 0; s < nstep; ++s) cell[s] = steps[s].at(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string daily_filename(const std::string& dir, int year, int day_of_year) {
+  return common::format("%s/cm3_y%04d_d%03d.nc", dir.c_str(), year, day_of_year);
+}
+
+bool parse_daily_filename(const std::string& path, int* year, int* day_of_year) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  int y = 0, d = 0;
+  if (std::sscanf(name.c_str(), "cm3_y%d_d%d.nc", &y, &d) != 2) return false;
+  if (year) *year = y;
+  if (day_of_year) *day_of_year = d;
+  return true;
+}
+
+std::vector<std::string> daily_variable_names() {
+  return {"psl",  "ua850", "va850", "wspd", "vort850", "pr6h", "tas",  "tasmin",
+          "tasmax", "pr",   "sst",   "sic",  "ts",      "hfls", "hfss", "clt",
+          "rh",   "zg500", "uas",   "vas"};
+}
+
+Result<std::uint64_t> write_daily_file(const std::string& path, const DailyFields& day,
+                                       const LatLonGrid& grid) {
+  auto writer = ncio::FileWriter::create(path);
+  if (!writer.ok()) return writer.status();
+
+  const std::size_t nstep = day.psl.size();
+  auto check = [](auto result) -> Status {
+    return result.ok() ? Status::Ok() : result.status();
+  };
+  CLIMATE_RETURN_IF_ERROR(check(writer->def_dim("lat", grid.nlat())));
+  CLIMATE_RETURN_IF_ERROR(check(writer->def_dim("lon", grid.nlon())));
+  CLIMATE_RETURN_IF_ERROR(check(writer->def_dim("time", nstep)));
+  CLIMATE_RETURN_IF_ERROR(check(writer->def_var("lat", ncio::DType::kFloat64, {"lat"})));
+  CLIMATE_RETURN_IF_ERROR(check(writer->def_var("lon", ncio::DType::kFloat64, {"lon"})));
+  CLIMATE_RETURN_IF_ERROR(check(writer->def_var("time", ncio::DType::kFloat64, {"time"})));
+
+  const std::vector<std::string> step_dims = {"lat", "lon", "time"};
+  const std::vector<std::string> daily_dims = {"lat", "lon"};
+  for (const char* name : {"psl", "ua850", "va850", "wspd", "vort850", "pr6h"}) {
+    CLIMATE_RETURN_IF_ERROR(check(writer->def_var(name, ncio::DType::kFloat32, step_dims)));
+  }
+  for (const char* name : {"tas", "tasmin", "tasmax", "pr", "sst", "sic", "ts", "hfls", "hfss",
+                           "clt", "rh", "zg500", "uas", "vas"}) {
+    CLIMATE_RETURN_IF_ERROR(check(writer->def_var(name, ncio::DType::kFloat32, daily_dims)));
+  }
+  CLIMATE_RETURN_IF_ERROR(writer->put_attr("", "year", static_cast<std::int64_t>(day.year)));
+  CLIMATE_RETURN_IF_ERROR(
+      writer->put_attr("", "day_of_year", static_cast<std::int64_t>(day.day_of_year)));
+  CLIMATE_RETURN_IF_ERROR(
+      writer->put_attr("", "day_of_run", static_cast<std::int64_t>(day.day_of_run)));
+  CLIMATE_RETURN_IF_ERROR(writer->put_attr("", "co2_ppm", day.co2_ppm));
+  CLIMATE_RETURN_IF_ERROR(writer->put_attr("", "model", std::string("CMCC-CM3-lite")));
+  CLIMATE_RETURN_IF_ERROR(writer->put_attr("tasmax", "units", std::string("degC")));
+  CLIMATE_RETURN_IF_ERROR(writer->put_attr("psl", "units", std::string("hPa")));
+  CLIMATE_RETURN_IF_ERROR(writer->end_def());
+
+  CLIMATE_RETURN_IF_ERROR(writer->put_var("lat", grid.lats().data(), grid.lats().size()));
+  CLIMATE_RETURN_IF_ERROR(writer->put_var("lon", grid.lons().data(), grid.lons().size()));
+  std::vector<double> times(nstep);
+  for (std::size_t s = 0; s < nstep; ++s) times[s] = 6.0 * static_cast<double>(s);
+  CLIMATE_RETURN_IF_ERROR(writer->put_var("time", times.data(), times.size()));
+
+  auto put_steps = [&](const char* name, const std::vector<Field>& steps) -> Status {
+    const std::vector<float> data = interleave_steps(steps);
+    return writer->put_var(name, data.data(), data.size());
+  };
+  CLIMATE_RETURN_IF_ERROR(put_steps("psl", day.psl));
+  CLIMATE_RETURN_IF_ERROR(put_steps("ua850", day.ua850));
+  CLIMATE_RETURN_IF_ERROR(put_steps("va850", day.va850));
+  CLIMATE_RETURN_IF_ERROR(put_steps("wspd", day.wspd));
+  CLIMATE_RETURN_IF_ERROR(put_steps("vort850", day.vort850));
+  CLIMATE_RETURN_IF_ERROR(put_steps("pr6h", day.pr6h));
+
+  auto put_daily = [&](const char* name, const Field& field) -> Status {
+    return writer->put_var(name, field.data().data(), field.size());
+  };
+  CLIMATE_RETURN_IF_ERROR(put_daily("tas", day.tas));
+  CLIMATE_RETURN_IF_ERROR(put_daily("tasmin", day.tasmin));
+  CLIMATE_RETURN_IF_ERROR(put_daily("tasmax", day.tasmax));
+  CLIMATE_RETURN_IF_ERROR(put_daily("pr", day.pr));
+  CLIMATE_RETURN_IF_ERROR(put_daily("sst", day.sst));
+  CLIMATE_RETURN_IF_ERROR(put_daily("sic", day.sic));
+  CLIMATE_RETURN_IF_ERROR(put_daily("ts", day.ts));
+  CLIMATE_RETURN_IF_ERROR(put_daily("hfls", day.hfls));
+  CLIMATE_RETURN_IF_ERROR(put_daily("hfss", day.hfss));
+  CLIMATE_RETURN_IF_ERROR(put_daily("clt", day.clt));
+  CLIMATE_RETURN_IF_ERROR(put_daily("rh", day.rh));
+  CLIMATE_RETURN_IF_ERROR(put_daily("zg500", day.zg500));
+  CLIMATE_RETURN_IF_ERROR(put_daily("uas", day.uas));
+  CLIMATE_RETURN_IF_ERROR(put_daily("vas", day.vas));
+
+  const std::uint64_t bytes = writer->total_bytes();
+  CLIMATE_RETURN_IF_ERROR(writer->close());
+  return bytes;
+}
+
+Result<common::Field> read_daily_field(const std::string& path, const std::string& variable) {
+  auto reader = ncio::FileReader::open(path);
+  if (!reader.ok()) return reader.status();
+  auto shape = reader->var_shape(variable);
+  if (!shape.ok()) return shape.status();
+  if (shape->size() != 2) return Status::InvalidArgument(variable + " is not a 2D field");
+  auto data = reader->read_floats(variable);
+  if (!data.ok()) return data.status();
+  common::Field field((*shape)[0], (*shape)[1]);
+  std::memcpy(field.data().data(), data->data(), data->size() * sizeof(float));
+  return field;
+}
+
+Result<std::vector<common::Field>> read_daily_steps(const std::string& path,
+                                                    const std::string& variable) {
+  auto reader = ncio::FileReader::open(path);
+  if (!reader.ok()) return reader.status();
+  auto shape = reader->var_shape(variable);
+  if (!shape.ok()) return shape.status();
+  if (shape->size() != 3) return Status::InvalidArgument(variable + " is not a 3D field");
+  auto data = reader->read_floats(variable);
+  if (!data.ok()) return data.status();
+  const std::size_t nlat = (*shape)[0];
+  const std::size_t nlon = (*shape)[1];
+  const std::size_t nstep = (*shape)[2];
+  std::vector<common::Field> steps(nstep, common::Field(nlat, nlon));
+  for (std::size_t i = 0; i < nlat; ++i) {
+    for (std::size_t j = 0; j < nlon; ++j) {
+      const float* cell = data->data() + (i * nlon + j) * nstep;
+      for (std::size_t s = 0; s < nstep; ++s) steps[s].at(i, j) = cell[s];
+    }
+  }
+  return steps;
+}
+
+}  // namespace climate::esm

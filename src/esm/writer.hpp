@@ -1,0 +1,39 @@
+// Daily output writer/reader: one CDF-lite file per simulated day with the
+// ~20 variables of section 5.2 (six-hourly instantaneous fields over a
+// (lat, lon, time) layout — time innermost so the datacube's implicit array
+// dimension maps onto it directly — plus daily statistics over (lat, lon)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "esm/model.hpp"
+
+namespace climate::esm {
+
+using common::Result;
+using common::Status;
+
+/// Canonical name of a daily file: <dir>/cm3_y<year>_d<ddd>.nc.
+std::string daily_filename(const std::string& dir, int year, int day_of_year);
+
+/// Parses year/day back out of a daily filename; returns false if the name
+/// does not match the canonical pattern.
+bool parse_daily_filename(const std::string& path, int* year, int* day_of_year);
+
+/// Writes one day of model output. Returns the number of bytes written.
+Result<std::uint64_t> write_daily_file(const std::string& path, const DailyFields& day,
+                                       const LatLonGrid& grid);
+
+/// Names of all variables a daily file contains.
+std::vector<std::string> daily_variable_names();
+
+/// Reads a 2D (lat, lon) variable back as a Field.
+Result<common::Field> read_daily_field(const std::string& path, const std::string& variable);
+
+/// Reads a 3D (lat, lon, time) variable back as one Field per time step.
+Result<std::vector<common::Field>> read_daily_steps(const std::string& path,
+                                                    const std::string& variable);
+
+}  // namespace climate::esm

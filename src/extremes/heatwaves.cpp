@@ -1,0 +1,246 @@
+#include "extremes/heatwaves.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "esm/climatology.hpp"
+
+namespace climate::extremes {
+
+Baseline Baseline::analytic(const LatLonGrid& grid, int days_per_year, int steps_per_day,
+                            double warming_offset_c) {
+  Baseline b;
+  b.days_per_year_ = days_per_year;
+  b.nlat_ = grid.nlat();
+  b.nlon_ = grid.nlon();
+  b.tasmax_.resize(static_cast<std::size_t>(days_per_year) * b.nlat_ * b.nlon_);
+  b.tasmin_.resize(b.tasmax_.size());
+  // Expected diurnal extremes over the day's steps.
+  double diurnal_max = -1e30, diurnal_min = 1e30;
+  for (int s = 0; s < steps_per_day; ++s) {
+    const double d = esm::diurnal_cycle_c(s, steps_per_day);
+    diurnal_max = std::max(diurnal_max, d);
+    diurnal_min = std::min(diurnal_min, d);
+  }
+  for (int doy = 0; doy < days_per_year; ++doy) {
+    for (std::size_t i = 0; i < b.nlat_; ++i) {
+      const double base =
+          esm::baseline_temperature_c(grid.lat(i), doy, days_per_year) + warming_offset_c;
+      const float tmax = static_cast<float>(base + diurnal_max);
+      const float tmin = static_cast<float>(base + diurnal_min);
+      const std::size_t offset = static_cast<std::size_t>(doy) * b.nlat_ * b.nlon_ + i * b.nlon_;
+      for (std::size_t j = 0; j < b.nlon_; ++j) {
+        b.tasmax_[offset + j] = tmax;
+        b.tasmin_[offset + j] = tmin;
+      }
+    }
+  }
+  return b;
+}
+
+Baseline Baseline::from_daily_data(const LatLonGrid& grid, int days_per_year,
+                                   const std::vector<Field>& tasmax_days,
+                                   const std::vector<Field>& tasmin_days) {
+  Baseline b;
+  b.days_per_year_ = days_per_year;
+  b.nlat_ = grid.nlat();
+  b.nlon_ = grid.nlon();
+  const std::size_t cells = b.nlat_ * b.nlon_;
+  b.tasmax_.assign(static_cast<std::size_t>(days_per_year) * cells, 0.0f);
+  b.tasmin_.assign(b.tasmax_.size(), 0.0f);
+  std::vector<int> counts(static_cast<std::size_t>(days_per_year), 0);
+  for (std::size_t d = 0; d < tasmax_days.size(); ++d) {
+    const int doy = static_cast<int>(d) % days_per_year;
+    ++counts[static_cast<std::size_t>(doy)];
+    const std::size_t offset = static_cast<std::size_t>(doy) * cells;
+    for (std::size_t c = 0; c < cells; ++c) {
+      b.tasmax_[offset + c] += tasmax_days[d][c];
+      if (d < tasmin_days.size()) b.tasmin_[offset + c] += tasmin_days[d][c];
+    }
+  }
+  for (int doy = 0; doy < days_per_year; ++doy) {
+    const int n = std::max(1, counts[static_cast<std::size_t>(doy)]);
+    const std::size_t offset = static_cast<std::size_t>(doy) * cells;
+    for (std::size_t c = 0; c < cells; ++c) {
+      b.tasmax_[offset + c] /= static_cast<float>(n);
+      b.tasmin_[offset + c] /= static_cast<float>(n);
+    }
+  }
+  return b;
+}
+
+Baseline Baseline::from_daily_quantile(const LatLonGrid& grid, int days_per_year,
+                                       const std::vector<Field>& tasmax_days,
+                                       const std::vector<Field>& tasmin_days, double q,
+                                       int window) {
+  Baseline b;
+  b.days_per_year_ = days_per_year;
+  b.nlat_ = grid.nlat();
+  b.nlon_ = grid.nlon();
+  const std::size_t cells = b.nlat_ * b.nlon_;
+  b.tasmax_.assign(static_cast<std::size_t>(days_per_year) * cells, 0.0f);
+  b.tasmin_.assign(b.tasmax_.size(), 0.0f);
+
+  // Indices of the day-of-run samples contributing to each calendar day
+  // (the day itself +- window, across all years in the stack).
+  std::vector<std::vector<std::size_t>> samples(static_cast<std::size_t>(days_per_year));
+  const int total_days = static_cast<int>(tasmax_days.size());
+  for (int d = 0; d < total_days; ++d) {
+    for (int w = -window; w <= window; ++w) {
+      const int doy = ((d + w) % days_per_year + days_per_year) % days_per_year;
+      samples[static_cast<std::size_t>(doy)].push_back(static_cast<std::size_t>(d));
+    }
+  }
+
+  std::vector<double> max_values;
+  std::vector<double> min_values;
+  for (int doy = 0; doy < days_per_year; ++doy) {
+    const auto& sample_days = samples[static_cast<std::size_t>(doy)];
+    const std::size_t offset = static_cast<std::size_t>(doy) * cells;
+    for (std::size_t c = 0; c < cells; ++c) {
+      max_values.clear();
+      min_values.clear();
+      for (std::size_t d : sample_days) {
+        max_values.push_back(tasmax_days[d][c]);
+        if (d < tasmin_days.size()) min_values.push_back(tasmin_days[d][c]);
+      }
+      b.tasmax_[offset + c] =
+          max_values.empty() ? 0.0f : static_cast<float>(common::quantile(max_values, q));
+      b.tasmin_[offset + c] =
+          min_values.empty() ? 0.0f : static_cast<float>(common::quantile(min_values, 1.0 - q));
+    }
+  }
+  return b;
+}
+
+std::vector<float> Baseline::tasmax_rows_by_day() const {
+  // Transpose [day][cell] -> [cell][day].
+  const std::size_t cells = nlat_ * nlon_;
+  std::vector<float> out(tasmax_.size());
+  for (std::size_t d = 0; d < static_cast<std::size_t>(days_per_year_); ++d) {
+    for (std::size_t c = 0; c < cells; ++c) {
+      out[c * static_cast<std::size_t>(days_per_year_) + d] = tasmax_[d * cells + c];
+    }
+  }
+  return out;
+}
+
+std::vector<float> Baseline::tasmin_rows_by_day() const {
+  const std::size_t cells = nlat_ * nlon_;
+  std::vector<float> out(tasmin_.size());
+  for (std::size_t d = 0; d < static_cast<std::size_t>(days_per_year_); ++d) {
+    for (std::size_t c = 0; c < cells; ++c) {
+      out[c * static_cast<std::size_t>(days_per_year_) + d] = tasmin_[d * cells + c];
+    }
+  }
+  return out;
+}
+
+WaveIndices compute_wave_indices(const std::vector<Field>& daily_temp, const Baseline& baseline,
+                                 bool warm, int min_days, double threshold_c) {
+  const std::size_t nlat = baseline.nlat();
+  const std::size_t nlon = baseline.nlon();
+  WaveIndices out{Field(nlat, nlon), Field(nlat, nlon), Field(nlat, nlon)};
+  const int days = static_cast<int>(daily_temp.size());
+  for (std::size_t i = 0; i < nlat; ++i) {
+    for (std::size_t j = 0; j < nlon; ++j) {
+      int run = 0;
+      int longest = 0;
+      int waves = 0;
+      int wave_days = 0;
+      for (int d = 0; d <= days; ++d) {
+        bool exceed = false;
+        if (d < days) {
+          const int doy = d % baseline.days_per_year();
+          const float temp = daily_temp[static_cast<std::size_t>(d)].at(i, j);
+          // Computed as a float difference first so the result is bit-equal
+          // to the datacube pipeline (intercube sub -> predicate >=).
+          const float diff = warm ? temp - baseline.tasmax(i, j, doy)
+                                  : baseline.tasmin(i, j, doy) - temp;
+          exceed = diff >= static_cast<float>(threshold_c);
+        }
+        if (exceed) {
+          ++run;
+        } else {
+          if (run >= min_days) {
+            longest = std::max(longest, run);
+            ++waves;
+            wave_days += run;
+          }
+          run = 0;
+        }
+      }
+      out.duration_max.at(i, j) = static_cast<float>(longest);
+      out.count.at(i, j) = static_cast<float>(waves);
+      out.frequency.at(i, j) =
+          days > 0 ? static_cast<float>(wave_days) / static_cast<float>(days) : 0.0f;
+    }
+  }
+  return out;
+}
+
+Result<WaveIndexCubes> compute_wave_indices_datacube(datacube::Client& client,
+                                                     const datacube::Cube& temp,
+                                                     const datacube::Cube& baseline, bool warm,
+                                                     int min_days, double threshold_c) {
+  (void)client;
+  // Exceedance: warm -> temp - baseline >= threshold, cold -> baseline - temp >= threshold.
+  auto diff = warm ? temp.intercube(baseline, "sub", "temp minus baseline")
+                   : baseline.intercube(temp, "sub", "baseline minus temp");
+  if (!diff.ok()) return diff.status();
+
+  auto mask = diff->apply(common::format("oph_predicate(measure, '>=%g', 1, 0)", threshold_c),
+                          "wave-day mask");
+  if (!mask.ok()) return mask.status();
+
+  // The "duration cube" of Listing 1: run lengths at run ends.
+  auto duration = mask->apply(common::format("wave_duration(measure, %d)", min_days),
+                              "wave duration cube");
+  if (!duration.ok()) return duration.status();
+
+  WaveIndexCubes out;
+  // Listing 1, IndexDurationMax: maximum length of waves in a year.
+  auto max_cube = duration->reduce("max", 0, "Max Duration cube");
+  if (!max_cube.ok()) return max_cube.status();
+  out.duration_max = *max_cube;
+
+  // Listing 1, IndexDurationNumber: predicate mask + sum.
+  auto number_mask =
+      duration->apply("oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0')");
+  if (!number_mask.ok()) return number_mask.status();
+  auto count_cube = number_mask->reduce("sum", 0, "Number of durations cube");
+  if (!count_cube.ok()) return count_cube.status();
+  out.count = *count_cube;
+  CLIMATE_RETURN_IF_ERROR(number_mask->del());
+
+  // Frequency: total wave days / days-in-year.
+  auto total_days = duration->reduce("sum", 0, "Total wave days cube");
+  if (!total_days.ok()) return total_days.status();
+  auto schema = temp.schema();
+  if (!schema.ok()) return schema.status();
+  const double days = static_cast<double>(schema->implicit_dim.size);
+  auto freq = total_days->apply(common::format("measure / %g", days), "Wave frequency cube");
+  if (!freq.ok()) return freq.status();
+  out.frequency = *freq;
+  CLIMATE_RETURN_IF_ERROR(total_days->del());
+  CLIMATE_RETURN_IF_ERROR(diff->del());
+  CLIMATE_RETURN_IF_ERROR(mask->del());
+  CLIMATE_RETURN_IF_ERROR(duration->del());
+  return out;
+}
+
+Result<Field> index_cube_to_field(const datacube::Cube& cube, const LatLonGrid& grid) {
+  auto values = cube.values();
+  if (!values.ok()) return values.status();
+  if (values->size() != grid.size()) {
+    return Status::InvalidArgument(
+        common::format("index cube has %zu values, grid expects %zu", values->size(), grid.size()));
+  }
+  Field field(grid);
+  std::copy(values->begin(), values->end(), field.data().begin());
+  return field;
+}
+
+}  // namespace climate::extremes

@@ -1,0 +1,150 @@
+#include "extremes/tc_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace climate::extremes {
+
+double TcTrack::min_psl() const {
+  double m = 1e30;
+  for (const TcCandidate& fix : fixes) m = std::min(m, fix.psl_hpa);
+  return m;
+}
+
+double TcTrack::max_wind() const {
+  double m = 0.0;
+  for (const TcCandidate& fix : fixes) m = std::max(m, fix.max_wind_ms);
+  return m;
+}
+
+std::vector<TcCandidate> detect_candidates(const Field& psl, const Field& wspd, const Field& vort,
+                                           const LatLonGrid& grid, int step,
+                                           const TrackerCriteria& criteria) {
+  std::vector<TcCandidate> candidates;
+  const int R = criteria.search_radius_cells;
+  const long nlat = static_cast<long>(grid.nlat());
+  const long nlon = static_cast<long>(grid.nlon());
+  for (long i = R; i < nlat - R; ++i) {
+    const double lat = grid.lat(static_cast<std::size_t>(i));
+    if (std::fabs(lat) > criteria.max_abs_lat || std::fabs(lat) < 3.0) continue;
+    for (long j = 0; j < nlon; ++j) {
+      const float center = psl.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+      if (center > criteria.psl_max_hpa) continue;
+
+      // Local minimum and dip relative to the neighbourhood mean; also find
+      // the strongest wind in the neighbourhood. Exact ties (a minimum shared
+      // by two cells when the centre falls on a cell edge) are broken in scan
+      // order so exactly one of the tied cells is reported.
+      bool is_minimum = true;
+      double neighbourhood_sum = 0.0;
+      int neighbourhood_count = 0;
+      double peak_wind = 0.0;
+      for (long di = -R; di <= R && is_minimum; ++di) {
+        for (long dj = -R; dj <= R; ++dj) {
+          const std::size_t ii = static_cast<std::size_t>(i + di);
+          const std::size_t jj = grid.wrap_lon(j + dj);
+          const float p = psl.at(ii, jj);
+          if (di != 0 || dj != 0) {
+            if (p < center || (p == center && (di < 0 || (di == 0 && dj < 0)))) {
+              is_minimum = false;
+              break;
+            }
+          }
+          neighbourhood_sum += p;
+          ++neighbourhood_count;
+          peak_wind = std::max(peak_wind, static_cast<double>(wspd.at(ii, jj)));
+        }
+      }
+      if (!is_minimum) continue;
+      const double dip = neighbourhood_sum / neighbourhood_count - center;
+      if (dip < criteria.psl_dip_hpa) continue;
+      if (peak_wind < criteria.wind_min_ms) continue;
+
+      // Cyclonic vorticity: positive in the NH, negative in the SH.
+      const double v = vort.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+      const double cyclonic = lat >= 0 ? v : -v;
+      if (cyclonic < criteria.vort_min) continue;
+
+      candidates.push_back({step, lat, grid.lon(static_cast<std::size_t>(j)),
+                            static_cast<double>(center), peak_wind, v});
+    }
+  }
+  return candidates;
+}
+
+std::vector<TcTrack> link_tracks(const std::vector<std::vector<TcCandidate>>& per_step,
+                                 int steps_per_day, const TrackerCriteria& criteria) {
+  const double hours_per_step = 24.0 / std::max(1, steps_per_day);
+  const double max_km = criteria.max_speed_kmh * hours_per_step;
+
+  std::vector<TcTrack> open;
+  std::vector<TcTrack> finished;
+  int next_id = 1;
+
+  auto close_stale = [&](int step) {
+    for (auto it = open.begin(); it != open.end();) {
+      if (it->fixes.back().step < step - 1 - criteria.max_gap_steps) {
+        if (it->duration_steps() >= criteria.min_track_steps) finished.push_back(std::move(*it));
+        it = open.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (const std::vector<TcCandidate>& candidates : per_step) {
+    if (candidates.empty()) continue;
+    const int step = candidates.front().step;
+    close_stale(step);
+
+    // Greedy closest-pair matching between open tracks and this step's
+    // candidates.
+    std::vector<bool> candidate_used(candidates.size(), false);
+    std::vector<bool> track_extended(open.size(), false);
+    while (true) {
+      double best_km = -1.0;
+      std::size_t best_track = open.size();
+      std::size_t best_candidate = candidates.size();
+      for (std::size_t t = 0; t < open.size(); ++t) {
+        if (track_extended[t]) continue;
+        const TcCandidate& last = open[t].fixes.back();
+        const int gap = step - last.step;  // 1 = consecutive
+        if (gap < 1 || gap > 1 + criteria.max_gap_steps) continue;
+        // The displacement budget scales with the number of steps bridged.
+        const double limit = max_km * gap;
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+          if (candidate_used[c]) continue;
+          const double km = common::great_circle_km(last.lat, last.lon, candidates[c].lat,
+                                                    candidates[c].lon);
+          if (km <= limit && (best_track == open.size() || km < best_km)) {
+            best_km = km;
+            best_track = t;
+            best_candidate = c;
+          }
+        }
+      }
+      if (best_track == open.size()) break;
+      open[best_track].fixes.push_back(candidates[best_candidate]);
+      track_extended[best_track] = true;
+      candidate_used[best_candidate] = true;
+    }
+
+    // Unmatched candidates seed new tracks.
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (candidate_used[c]) continue;
+      TcTrack track;
+      track.id = next_id++;
+      track.fixes.push_back(candidates[c]);
+      open.push_back(std::move(track));
+      track_extended.push_back(true);
+    }
+  }
+  for (TcTrack& track : open) {
+    if (track.duration_steps() >= criteria.min_track_steps) finished.push_back(std::move(track));
+  }
+  std::sort(finished.begin(), finished.end(),
+            [](const TcTrack& a, const TcTrack& b) { return a.id < b.id; });
+  return finished;
+}
+
+}  // namespace climate::extremes

@@ -1,0 +1,64 @@
+// Deterministic tropical-cyclone detection and tracking (the "deterministic
+// algorithm for Tropical Cyclones tracking" the paper's workflow runs to
+// validate the ML localization, section 5.4). Implements the classic
+// criteria-based scheme: sea-level-pressure minima with strong nearby winds,
+// cyclonic vorticity and a warm environment, linked across six-hourly steps
+// under a maximum-displacement constraint with a minimum-lifetime filter.
+#pragma once
+
+#include <vector>
+
+#include "common/grid.hpp"
+
+namespace climate::extremes {
+
+using common::Field;
+using common::LatLonGrid;
+
+/// Detection thresholds (defaults tuned to the simulator's climate but all
+/// physically standard).
+struct TrackerCriteria {
+  double max_abs_lat = 50.0;       ///< TCs live equatorward of this.
+  double psl_max_hpa = 1002.0;     ///< Candidate pressure minimum must be below.
+  double psl_dip_hpa = 4.0;        ///< Depth below the neighbourhood mean.
+  double wind_min_ms = 16.0;       ///< Peak wind within the search radius.
+  double vort_min = 1.0;           ///< |relative vorticity|, cyclonic sign.
+  int search_radius_cells = 3;     ///< Neighbourhood half-width.
+  double max_speed_kmh = 65.0;     ///< Track-linking displacement limit.
+  int min_track_steps = 6;         ///< Minimum lifetime (six-hourly steps).
+  int max_gap_steps = 1;           ///< Missed detections bridged by linking.
+};
+
+/// One candidate TC fix at one time step.
+struct TcCandidate {
+  int step = 0;
+  double lat = 0.0;
+  double lon = 0.0;
+  double psl_hpa = 0.0;
+  double max_wind_ms = 0.0;
+  double vorticity = 0.0;
+};
+
+/// A linked track.
+struct TcTrack {
+  int id = 0;
+  std::vector<TcCandidate> fixes;
+
+  int duration_steps() const { return static_cast<int>(fixes.size()); }
+  double min_psl() const;
+  double max_wind() const;
+};
+
+/// Finds candidate centres in one step's fields. `vort` uses the simulator's
+/// 1e-5/s units; candidates require cyclonic sign for their hemisphere.
+std::vector<TcCandidate> detect_candidates(const Field& psl, const Field& wspd, const Field& vort,
+                                           const LatLonGrid& grid, int step,
+                                           const TrackerCriteria& criteria = {});
+
+/// Links per-step candidates into tracks with greedy nearest-neighbour
+/// matching (closest pair first) under the speed limit; tracks shorter than
+/// min_track_steps are dropped.
+std::vector<TcTrack> link_tracks(const std::vector<std::vector<TcCandidate>>& per_step,
+                                 int steps_per_day, const TrackerCriteria& criteria = {});
+
+}  // namespace climate::extremes

@@ -1,0 +1,136 @@
+#include "hpcwaas/orchestrator.hpp"
+
+#include "common/strings.hpp"
+
+namespace climate::hpcwaas {
+namespace {
+
+/// Platform of the compute node hosting (transitively) a node template.
+PlatformSpec platform_for(const Topology& topology, const NodeTemplate& node) {
+  PlatformSpec platform;
+  const NodeTemplate* current = &node;
+  for (int hops = 0; hops < 16 && current != nullptr; ++hops) {
+    if (current->kind == NodeKind::kCompute) {
+      auto it = current->properties.find("cluster");
+      if (it != current->properties.end()) platform.name = it->second;
+      it = current->properties.find("arch");
+      if (it != current->properties.end()) platform.arch = it->second;
+      it = current->properties.find("mpi");
+      if (it != current->properties.end()) platform.mpi = it->second;
+      return platform;
+    }
+    current = current->host.empty() ? nullptr : topology.find(current->host);
+  }
+  return platform;
+}
+
+}  // namespace
+
+DeploymentStep Orchestrator::deploy_node(const Topology& topology, const NodeTemplate& node,
+                                         Deployment* deployment) {
+  DeploymentStep step;
+  step.node = node.name;
+  step.kind = node.kind;
+  const auto begin = std::chrono::steady_clock::now();
+
+  switch (node.kind) {
+    case NodeKind::kCompute: {
+      // Nothing to install; the compute node is the target infrastructure.
+      step.status = Status::Ok();
+      auto it = node.properties.find("cluster");
+      step.detail = "target cluster " + (it != node.properties.end() ? it->second : "default");
+      break;
+    }
+    case NodeKind::kSoftware: {
+      ImageSpec spec;
+      spec.name = node.name;
+      auto it = node.properties.find("base");
+      if (it != node.properties.end()) spec.base = it->second;
+      it = node.properties.find("packages");
+      if (it != node.properties.end()) {
+        for (const std::string& pkg : common::split(it->second, ',')) {
+          const std::string trimmed = common::trim(pkg);
+          if (!trimmed.empty()) spec.packages.push_back(trimmed);
+        }
+      }
+      spec.platform = platform_for(topology, node);
+      auto manifest = images_->build(spec);
+      if (!manifest.ok()) {
+        step.status = manifest.status();
+        break;
+      }
+      deployment->image_ids.push_back(manifest->id);
+      step.status = Status::Ok();
+      step.detail = common::format("image %s (%zu layers, %zu cached, %.0f ms simulated build)",
+                                   manifest->id.c_str(), manifest->layers.size(),
+                                   manifest->cache_hits, manifest->build_ms);
+      break;
+    }
+    case NodeKind::kDataPipeline: {
+      auto it = node.properties.find("pipeline");
+      const std::string pipeline = it != node.properties.end() ? it->second : node.name;
+      auto report = dls_->run(pipeline);
+      if (!report.ok()) {
+        step.status = report.status();
+        break;
+      }
+      if (!report->ok()) {
+        for (const StepReport& sr : report->steps) {
+          if (!sr.status.ok()) {
+            step.status = sr.status;
+            break;
+          }
+        }
+      } else {
+        step.status = Status::Ok();
+      }
+      step.detail = common::format("pipeline '%s': %zu steps, %s moved", pipeline.c_str(),
+                                   report->steps.size(),
+                                   common::human_bytes(static_cast<double>(report->total_bytes)).c_str());
+      break;
+    }
+    case NodeKind::kWorkflow: {
+      deployment->workflow_node = node.name;
+      step.status = Status::Ok();
+      step.detail = "workflow entry registered";
+      break;
+    }
+  }
+
+  step.elapsed_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                              begin)
+                        .count();
+  return step;
+}
+
+Deployment Orchestrator::deploy(const Topology& topology) {
+  Deployment deployment;
+  deployment.id = "dep-" + std::to_string(next_id_++);
+  deployment.topology_name = topology.name;
+
+  auto order = topology.deployment_order();
+  if (!order.ok()) {
+    DeploymentStep step;
+    step.node = "(plan)";
+    step.status = order.status();
+    deployment.steps.push_back(std::move(step));
+    deployment.state = DeploymentState::kFailed;
+    return deployment;
+  }
+
+  const auto begin = std::chrono::steady_clock::now();
+  bool failed = false;
+  for (const std::string& name : *order) {
+    const NodeTemplate* node = topology.find(name);
+    DeploymentStep step = deploy_node(topology, *node, &deployment);
+    failed = !step.status.ok();
+    deployment.steps.push_back(std::move(step));
+    if (failed) break;
+  }
+  deployment.total_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - begin).count();
+  deployment.state = failed ? DeploymentState::kFailed : DeploymentState::kDeployed;
+  return deployment;
+}
+
+}  // namespace climate::hpcwaas

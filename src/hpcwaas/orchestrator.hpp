@@ -1,0 +1,62 @@
+// The deployment orchestrator — this repository's Yorc equivalent (paper
+// section 4.1): given a validated TOSCA topology, it derives a deployment
+// plan (dependency order), builds the container images for every software
+// node through the Container Image Creation service, executes the
+// deployment-time data pipelines through the Data Logistics Service, and
+// records the workflow entry node that the Execution API will publish.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "hpcwaas/containers.hpp"
+#include "hpcwaas/dls.hpp"
+#include "hpcwaas/tosca.hpp"
+
+namespace climate::hpcwaas {
+
+/// One executed deployment step.
+struct DeploymentStep {
+  std::string node;
+  NodeKind kind = NodeKind::kSoftware;
+  Status status;
+  double elapsed_ms = 0.0;
+  std::string detail;  ///< Image id, pipeline report summary, ...
+};
+
+enum class DeploymentState { kDeployed, kFailed };
+
+/// Result of deploying one topology.
+struct Deployment {
+  std::string id;
+  std::string topology_name;
+  DeploymentState state = DeploymentState::kFailed;
+  std::vector<DeploymentStep> steps;
+  std::vector<std::string> image_ids;
+  std::string workflow_node;  ///< Name of the workflow node template.
+  double total_ms = 0.0;
+
+  bool ok() const { return state == DeploymentState::kDeployed; }
+};
+
+/// Interprets topologies into running environments.
+class Orchestrator {
+ public:
+  Orchestrator(ContainerImageService& images, DataLogisticsService& dls)
+      : images_(&images), dls_(&dls) {}
+
+  /// Deploys a topology: every node in dependency order. Stops at the first
+  /// failing step (state kFailed).
+  Deployment deploy(const Topology& topology);
+
+ private:
+  DeploymentStep deploy_node(const Topology& topology, const NodeTemplate& node,
+                             Deployment* deployment);
+
+  ContainerImageService* images_;
+  DataLogisticsService* dls_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace climate::hpcwaas

@@ -1,0 +1,219 @@
+#include "hpcwaas/service.hpp"
+
+#include "common/strings.hpp"
+
+namespace climate::hpcwaas {
+
+const char* execution_state_name(ExecutionState state) {
+  switch (state) {
+    case ExecutionState::kPending: return "pending";
+    case ExecutionState::kRunning: return "running";
+    case ExecutionState::kSucceeded: return "succeeded";
+    case ExecutionState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+HpcWaasService::HpcWaasService(std::vector<BatchNodeSpec> cluster)
+    : batch_(std::make_unique<BatchScheduler>(std::move(cluster))),
+      orchestrator_(images_, dls_) {}
+
+HpcWaasService::~HpcWaasService() = default;
+
+Result<std::string> HpcWaasService::deploy_workflow(const std::string& topology_yaml,
+                                                    WorkflowFn fn) {
+  auto topology = parse_topology(topology_yaml);
+  if (!topology.ok()) return topology.status();
+
+  Deployment deployment = orchestrator_.deploy(*topology);
+  if (!deployment.ok()) {
+    for (const DeploymentStep& step : deployment.steps) {
+      if (!step.status.ok()) {
+        return Status::FailedPrecondition("deployment failed at node '" + step.node +
+                                          "': " + step.status.to_string());
+      }
+    }
+    return Status::Internal("deployment failed");
+  }
+  if (deployment.workflow_node.empty()) {
+    return Status::InvalidArgument("topology '" + topology->name + "' declares no Workflow node");
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string id = "wf-" + std::to_string(next_workflow_++);
+  WorkflowEntry entry;
+  entry.id = id;
+  entry.name = topology->name;
+  entry.description = topology->description;
+  entry.deployment = std::move(deployment);
+  entry.inputs = topology->inputs;
+  workflows_[id] = std::move(entry);
+  functions_[id] = std::move(fn);
+  return id;
+}
+
+Status HpcWaasService::undeploy_workflow(const std::string& workflow_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (workflows_.erase(workflow_id) == 0) {
+    return Status::NotFound("no workflow '" + workflow_id + "'");
+  }
+  functions_.erase(workflow_id);
+  return Status::Ok();
+}
+
+Result<std::string> HpcWaasService::invoke(const std::string& workflow_id, Json params) {
+  WorkflowFn fn;
+  std::shared_ptr<ExecutionRecord> record;
+  std::string execution_id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto wf = workflows_.find(workflow_id);
+    if (wf == workflows_.end()) return Status::NotFound("no workflow '" + workflow_id + "'");
+    // Input validation against the topology's declarations.
+    if (!params.is_object()) params = Json::object();
+    for (const TopologyInput& input : wf->second.inputs) {
+      if (!params.contains(input.name)) {
+        if (input.required) {
+          return Status::InvalidArgument("missing required input '" + input.name + "'");
+        }
+        if (!input.default_value.empty()) params[input.name] = Json(input.default_value);
+      }
+    }
+    fn = functions_[workflow_id];
+    execution_id = "exec-" + std::to_string(next_execution_++);
+    record = std::make_shared<ExecutionRecord>();
+    record->id = execution_id;
+    record->workflow_id = workflow_id;
+    record->params = params;
+    executions_[execution_id] = record;
+  }
+
+  JobSpec job_spec;
+  job_spec.name = workflow_id + "/" + execution_id;
+  auto job = batch_->submit(job_spec, [this, record, fn, params] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      record->state = ExecutionState::kRunning;
+    }
+    Json result;
+    std::string error;
+    bool ok = true;
+    try {
+      result = fn(params);
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      record->result = std::move(result);
+      record->error = error;
+      record->state = ok ? ExecutionState::kSucceeded : ExecutionState::kFailed;
+    }
+    if (!ok) throw std::runtime_error(error);  // surface to the batch system too
+  });
+  if (!job.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    executions_.erase(execution_id);
+    return job.status();
+  }
+  record->job = *job;
+  return execution_id;
+}
+
+Result<ExecutionRecord> HpcWaasService::execution(const std::string& execution_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = executions_.find(execution_id);
+  if (it == executions_.end()) return Status::NotFound("no execution '" + execution_id + "'");
+  return *it->second;  // copy taken under the lock
+}
+
+Status HpcWaasService::wait(const std::string& execution_id) {
+  std::shared_ptr<ExecutionRecord> record;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = executions_.find(execution_id);
+    if (it == executions_.end()) return Status::NotFound("no execution '" + execution_id + "'");
+    record = it->second;
+  }
+  const Status job_status = batch_->wait(record->job);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (record->state == ExecutionState::kFailed) {
+      return Status::Internal("execution failed: " + record->error);
+    }
+  }
+  return job_status;
+}
+
+std::vector<WorkflowEntry> HpcWaasService::workflows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkflowEntry> out;
+  for (const auto& [id, entry] : workflows_) out.push_back(entry);
+  return out;
+}
+
+Result<Json> HpcWaasService::handle(const std::string& method, const std::string& path,
+                                    const Json& body) {
+  const std::vector<std::string> parts = common::split(path, '/');
+  // parts[0] is empty for a leading '/'.
+  auto segment = [&](std::size_t i) -> std::string {
+    return i + 1 < parts.size() ? parts[i + 1] : "";
+  };
+
+  if (method == "GET" && segment(0) == "workflows" && segment(1).empty()) {
+    Json list = Json::array();
+    for (const WorkflowEntry& entry : workflows()) {
+      Json item = Json::object();
+      item["id"] = entry.id;
+      item["name"] = entry.name;
+      item["description"] = entry.description;
+      list.push_back(std::move(item));
+    }
+    Json response = Json::object();
+    response["workflows"] = std::move(list);
+    return response;
+  }
+  if (method == "GET" && segment(0) == "workflows" && !segment(1).empty() && segment(2).empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workflows_.find(segment(1));
+    if (it == workflows_.end()) return Status::NotFound("no workflow '" + segment(1) + "'");
+    Json response = Json::object();
+    response["id"] = it->second.id;
+    response["name"] = it->second.name;
+    response["description"] = it->second.description;
+    Json inputs = Json::array();
+    for (const TopologyInput& input : it->second.inputs) {
+      Json spec = Json::object();
+      spec["name"] = input.name;
+      spec["type"] = input.type;
+      spec["required"] = input.required;
+      if (!input.default_value.empty()) spec["default"] = input.default_value;
+      inputs.push_back(std::move(spec));
+    }
+    response["inputs"] = std::move(inputs);
+    response["deployment_id"] = it->second.deployment.id;
+    return response;
+  }
+  if (method == "POST" && segment(0) == "workflows" && segment(2) == "executions") {
+    auto execution_id = invoke(segment(1), body);
+    if (!execution_id.ok()) return execution_id.status();
+    Json response = Json::object();
+    response["execution_id"] = *execution_id;
+    return response;
+  }
+  if (method == "GET" && segment(0) == "executions" && !segment(1).empty()) {
+    auto record = execution(segment(1));
+    if (!record.ok()) return record.status();
+    Json response = Json::object();
+    response["id"] = record->id;
+    response["workflow_id"] = record->workflow_id;
+    response["state"] = execution_state_name(record->state);
+    if (record->state == ExecutionState::kSucceeded) response["result"] = record->result;
+    if (record->state == ExecutionState::kFailed) response["error"] = record->error;
+    return response;
+  }
+  return Status::NotFound(method + " " + path + " is not a known route");
+}
+
+}  // namespace climate::hpcwaas

@@ -1,0 +1,22 @@
+// Minimal YAML-subset parser producing common::Json documents — enough for
+// the TOSCA topology files of the Alien4Cloud/Yorc deployment path (paper
+// section 4.1): nested block mappings, block sequences, scalars (strings,
+// numbers, booleans, null), quoted strings and '#' comments. Flow syntax,
+// anchors and multi-line scalars are not part of the subset.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+
+namespace climate::hpcwaas {
+
+using common::Json;
+using common::Result;
+using common::Status;
+
+/// Parses a YAML-subset document into a Json tree.
+Result<Json> parse_yaml(const std::string& text);
+
+}  // namespace climate::hpcwaas

@@ -1,0 +1,232 @@
+#include "ml/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace climate::ml {
+
+// --------------------------------------------------------------- Conv2D
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               common::Rng& rng)
+    : in_channels_(in_channels), out_channels_(out_channels), kernel_(kernel),
+      pad_(kernel / 2) {
+  if (kernel % 2 == 0) throw std::invalid_argument("Conv2D: kernel must be odd");
+  const std::size_t fan_in = in_channels * kernel * kernel;
+  weight_ = {"conv.w", Tensor::he_uniform({out_channels, in_channels, kernel, kernel}, fan_in, rng),
+             Tensor::zeros({out_channels, in_channels, kernel, kernel})};
+  bias_ = {"conv.b", Tensor::zeros({out_channels}), Tensor::zeros({out_channels})};
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool training) {
+  const std::size_t B = input.dim(0), C = input.dim(1), H = input.dim(2), W = input.dim(3);
+  if (C != in_channels_) throw std::invalid_argument("Conv2D: channel mismatch");
+  Tensor out({B, out_channels_, H, W});
+  const long k = static_cast<long>(kernel_);
+  const long p = static_cast<long>(pad_);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      for (std::size_t y = 0; y < H; ++y) {
+        for (std::size_t x = 0; x < W; ++x) {
+          float acc = bias_.value[f];
+          for (std::size_t c = 0; c < C; ++c) {
+            for (long ky = 0; ky < k; ++ky) {
+              const long iy = static_cast<long>(y) + ky - p;
+              if (iy < 0 || iy >= static_cast<long>(H)) continue;
+              for (long kx = 0; kx < k; ++kx) {
+                const long ix = static_cast<long>(x) + kx - p;
+                if (ix < 0 || ix >= static_cast<long>(W)) continue;
+                acc += input.at4(b, c, static_cast<std::size_t>(iy), static_cast<std::size_t>(ix)) *
+                       weight_.value.at4(f, c, static_cast<std::size_t>(ky),
+                                         static_cast<std::size_t>(kx));
+              }
+            }
+          }
+          out.at4(b, f, y, x) = acc;
+        }
+      }
+    }
+  }
+  if (training) input_cache_ = input;
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  const std::size_t B = input.dim(0), C = input.dim(1), H = input.dim(2), W = input.dim(3);
+  Tensor grad_input(input.shape());
+  const long k = static_cast<long>(kernel_);
+  const long p = static_cast<long>(pad_);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      for (std::size_t y = 0; y < H; ++y) {
+        for (std::size_t x = 0; x < W; ++x) {
+          const float g = grad_output.at4(b, f, y, x);
+          if (g == 0.0f) continue;
+          bias_.grad[f] += g;
+          for (std::size_t c = 0; c < C; ++c) {
+            for (long ky = 0; ky < k; ++ky) {
+              const long iy = static_cast<long>(y) + ky - p;
+              if (iy < 0 || iy >= static_cast<long>(H)) continue;
+              for (long kx = 0; kx < k; ++kx) {
+                const long ix = static_cast<long>(x) + kx - p;
+                if (ix < 0 || ix >= static_cast<long>(W)) continue;
+                const std::size_t uy = static_cast<std::size_t>(iy);
+                const std::size_t ux = static_cast<std::size_t>(ix);
+                weight_.grad.at4(f, c, static_cast<std::size_t>(ky), static_cast<std::size_t>(kx)) +=
+                    g * input.at4(b, c, uy, ux);
+                grad_input.at4(b, c, uy, ux) +=
+                    g * weight_.value.at4(f, c, static_cast<std::size_t>(ky),
+                                          static_cast<std::size_t>(kx));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+// ------------------------------------------------------------- MaxPool2
+
+Tensor MaxPool2::forward(const Tensor& input, bool training) {
+  const std::size_t B = input.dim(0), C = input.dim(1), H = input.dim(2), W = input.dim(3);
+  const std::size_t OH = H / 2, OW = W / 2;
+  Tensor out({B, C, OH, OW});
+  // Layer state is only mutated when training, so concurrent inference
+  // through a shared network is safe.
+  if (training) argmax_.assign(out.size(), 0);
+  std::size_t idx = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t y = 0; y < OH; ++y) {
+        for (std::size_t x = 0; x < OW; ++x) {
+          float best = -1e30f;
+          std::size_t best_pos = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t iy = 2 * y + dy, ix = 2 * x + dx;
+              const float v = input.at4(b, c, iy, ix);
+              if (v > best) {
+                best = v;
+                best_pos = ((b * C + c) * H + iy) * W + ix;
+              }
+            }
+          }
+          out.at4(b, c, y, x) = best;
+          if (training) argmax_[idx++] = best_pos;
+        }
+      }
+    }
+  }
+  if (training) input_cache_ = input;
+  return out;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_output) {
+  Tensor grad_input(input_cache_.shape());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+// ----------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
+  if (training) input_cache_ = input;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (input_cache_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+// -------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  if (training) input_shape_ = input.shape();
+  Tensor out = input;
+  out.reshape({input.dim(0), input.size() / input.dim(0)});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  grad.reshape(input_shape_);
+  return grad;
+}
+
+// ---------------------------------------------------------------- Dense
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = {"dense.w", Tensor::he_uniform({in_features, out_features}, in_features, rng),
+             Tensor::zeros({in_features, out_features})};
+  bias_ = {"dense.b", Tensor::zeros({out_features}), Tensor::zeros({out_features})};
+}
+
+Tensor Dense::forward(const Tensor& input, bool training) {
+  const std::size_t B = input.dim(0);
+  if (input.dim(1) != in_features_) throw std::invalid_argument("Dense: feature mismatch");
+  Tensor out({B, out_features_});
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t m = 0; m < out_features_; ++m) out.at2(b, m) = bias_.value[m];
+    for (std::size_t n = 0; n < in_features_; ++n) {
+      const float x = input.at2(b, n);
+      if (x == 0.0f) continue;
+      for (std::size_t m = 0; m < out_features_; ++m) {
+        out.at2(b, m) += x * weight_.value.at2(n, m);
+      }
+    }
+  }
+  if (training) input_cache_ = input;
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const std::size_t B = input_cache_.dim(0);
+  Tensor grad_input({B, in_features_});
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t m = 0; m < out_features_; ++m) {
+      const float g = grad_output.at2(b, m);
+      if (g == 0.0f) continue;
+      bias_.grad[m] += g;
+      for (std::size_t n = 0; n < in_features_; ++n) {
+        weight_.grad.at2(n, m) += g * input_cache_.at2(b, n);
+        grad_input.at2(b, n) += g * weight_.value.at2(n, m);
+      }
+    }
+  }
+  return grad_input;
+}
+
+// -------------------------------------------------------------- Sigmoid
+
+Tensor Sigmoid::forward(const Tensor& input, bool training) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  if (training) output_cache_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float s = output_cache_[i];
+    grad[i] *= s * (1.0f - s);
+  }
+  return grad;
+}
+
+}  // namespace climate::ml

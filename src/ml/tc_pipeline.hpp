@@ -1,0 +1,102 @@
+// The ML tropical-cyclone localization pipeline of paper section 5.4:
+//  (i)  post-processing of model output — regridding, tiling into
+//       non-overlapping patches, feature scaling;
+//  (ii) inference through a pre-trained CNN that detects TC presence in a
+//       patch and regresses the centre ("eye") position;
+//  (iii) geo-referencing of predicted centres back onto the global map.
+//
+// The CNN consumes four channels (sea-level pressure, wind speed, relative
+// vorticity, temperature), mirroring the paper's input variable list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "common/status.hpp"
+#include "ml/network.hpp"
+
+namespace climate::ml {
+
+using common::Field;
+using common::LatLonGrid;
+using common::Result;
+using common::Status;
+
+/// Number of input channels (psl, wspd, vort850, tas).
+inline constexpr std::size_t kTcChannels = 4;
+
+/// One tile of the global grid prepared for the CNN.
+struct TcPatch {
+  std::size_t row0 = 0;  ///< Patch origin (grid row).
+  std::size_t col0 = 0;  ///< Patch origin (grid column).
+  Tensor features;       ///< [kTcChannels, P, P], feature-scaled.
+
+  // Training labels (from ground truth).
+  bool has_tc = false;
+  float center_row_frac = 0.5f;  ///< TC centre within the patch, [0,1].
+  float center_col_frac = 0.5f;
+};
+
+/// A geo-referenced detection.
+struct TcDetection {
+  double lat = 0.0;
+  double lon = 0.0;
+  double confidence = 0.0;  ///< CNN presence probability.
+};
+
+/// Per-channel affine feature scaling (fixed climatological constants so
+/// training and inference apply identical transforms).
+float scale_feature(std::size_t channel, float raw);
+
+/// Tiles four global fields into non-overlapping PxP patches (rows/cols not
+/// covered by a full patch are dropped, as in the paper's tiling step).
+std::vector<TcPatch> make_patches(const Field& psl, const Field& wspd, const Field& vort,
+                                  const Field& tas, std::size_t patch);
+
+/// The CNN-based localizer.
+class TcLocalizer {
+ public:
+  /// Builds the (untrained) network for PxP patches.
+  explicit TcLocalizer(std::size_t patch = 16, std::uint64_t seed = 7);
+
+  /// One training epoch over labeled patches (mini-batch Adam); returns the
+  /// mean combined loss (BCE presence + masked MSE offsets).
+  float train_epoch(const std::vector<TcPatch>& patches, std::size_t batch_size = 16);
+
+  /// Raw per-patch outputs: {presence prob, row frac, col frac}.
+  struct Output {
+    float presence = 0.0f;
+    float row_frac = 0.5f;
+    float col_frac = 0.5f;
+  };
+  std::vector<Output> infer(const std::vector<TcPatch>& patches);
+
+  /// Full pipeline on one time step's fields: optional regrid to
+  /// (infer_nlat, infer_nlon) (0 keeps the native grid), tile, scale, infer,
+  /// geo-reference detections above `threshold`.
+  std::vector<TcDetection> detect(const Field& psl, const Field& wspd, const Field& vort,
+                                  const Field& tas, const LatLonGrid& grid,
+                                  double threshold = 0.5, std::size_t infer_nlat = 0,
+                                  std::size_t infer_nlon = 0);
+
+  Status save(const std::string& path) { return net_.save_weights(path); }
+  Status load(const std::string& path) { return net_.load_weights(path); }
+
+  std::size_t patch() const { return patch_; }
+  Sequential& net() { return net_; }
+
+ private:
+  std::size_t patch_;
+  common::Rng rng_;
+  Sequential net_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+};
+
+/// Labels patches against ground-truth cyclone centres (grid coordinates):
+/// a patch is positive if a centre falls inside it.
+void label_patches(std::vector<TcPatch>& patches, std::size_t patch,
+                   const std::vector<std::pair<double, double>>& centers_rowcol);
+
+}  // namespace climate::ml

@@ -1,0 +1,50 @@
+// Task-level checkpoint store (paper section 4.2.1: "a checkpointing
+// mechanism at task level ... enables to recover a failed execution from the
+// last checkpointed task").
+//
+// Each checkpointed task saves its serialized outputs under a stable key.
+// Files are written to a temp name and renamed, so a key is either fully
+// recorded or absent — a crashed writer never leaves a readable partial
+// checkpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace climate::taskrt {
+
+using common::Result;
+using common::Status;
+
+/// Durable map from task key to the task's serialized output values.
+class CheckpointStore {
+ public:
+  /// Opens (creating if needed) a checkpoint directory.
+  explicit CheckpointStore(std::string dir);
+
+  /// True if outputs for `key` were fully recorded.
+  bool contains(const std::string& key) const;
+
+  /// Loads the serialized outputs recorded for `key`.
+  Result<std::vector<std::string>> load(const std::string& key) const;
+
+  /// Atomically records the outputs for `key` (overwrites).
+  Status save(const std::string& key, const std::vector<std::string>& outputs) const;
+
+  /// Removes every checkpoint in the directory.
+  Status clear() const;
+
+  /// Number of recorded keys.
+  std::size_t size() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_for(const std::string& key) const;
+
+  std::string dir_;
+};
+
+}  // namespace climate::taskrt

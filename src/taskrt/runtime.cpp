@@ -1,0 +1,704 @@
+#include "taskrt/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace climate::taskrt {
+
+namespace {
+constexpr const char* kLogTag = "taskrt";
+}  // namespace
+
+const char* failure_policy_name(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::kFail: return "fail";
+    case FailurePolicy::kRetry: return "retry";
+    case FailurePolicy::kIgnore: return "ignore";
+    case FailurePolicy::kCancelSuccessors: return "cancel_successors";
+  }
+  return "?";
+}
+
+const char* task_state_name(TaskState state) {
+  switch (state) {
+    case TaskState::kPending: return "pending";
+    case TaskState::kReady: return "ready";
+    case TaskState::kRunning: return "running";
+    case TaskState::kCompleted: return "completed";
+    case TaskState::kFailed: return "failed";
+    case TaskState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- TaskContext
+
+const std::any& TaskContext::in(std::size_t idx) const {
+  if (idx >= params_.size()) throw std::out_of_range("TaskContext::in: bad parameter index");
+  if (params_[idx].direction == Direction::kOut) {
+    throw std::logic_error("TaskContext::in on an OUT parameter");
+  }
+  return inputs_[idx];
+}
+
+void TaskContext::set_out(std::size_t idx, std::any value, std::size_t size_bytes) {
+  if (idx >= params_.size()) throw std::out_of_range("TaskContext::set_out: bad parameter index");
+  if (params_[idx].direction == Direction::kIn) {
+    throw std::logic_error("TaskContext::set_out on an IN parameter");
+  }
+  outputs_[idx].value = std::move(value);
+  outputs_[idx].size_bytes = size_bytes;
+  outputs_[idx].written = true;
+}
+
+void TaskContext::simulate_compute(std::chrono::nanoseconds duration) const {
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  // Busy-wait in small sleeps: sleeping models blocking I/O well enough and
+  // does not oversubscribe the (possibly single-core) host.
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+// ------------------------------------------------------------------ Runtime
+
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  if (options_.nodes.empty()) {
+    const std::size_t n = std::max<std::size_t>(1, options_.workers);
+    for (std::size_t i = 0; i < n; ++i) {
+      NodeSpec spec;
+      spec.name = "node" + std::to_string(i);
+      spec.cores = 1;
+      nodes_.push_back(std::move(spec));
+    }
+  } else {
+    nodes_ = options_.nodes;
+  }
+  if (!options_.checkpoint_dir.empty()) checkpoints_.emplace(options_.checkpoint_dir);
+  epoch_ = std::chrono::steady_clock::now();
+
+  node_queues_.resize(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const int cores = std::max(1, nodes_[n].cores);
+    for (int c = 0; c < cores; ++c) {
+      workers_.emplace_back([this, n] { worker_loop(static_cast<int>(n)); });
+    }
+  }
+}
+
+Runtime::~Runtime() {
+  try {
+    wait_all();
+  } catch (const WorkflowError&) {
+    // Destructor must not throw; the failure was observable via sync/wait.
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  scheduler_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::int64_t Runtime::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+DataHandle Runtime::create_data(std::any initial, std::size_t size_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const DataId id = next_data_id_++;
+  DataRecord& record = data_[id];
+  VersionRecord version;
+  version.ready = initial.has_value();
+  version.value = std::make_shared<std::any>(std::move(initial));
+  version.size_bytes = size_bytes ? size_bytes : options_.default_size_hint;
+  if (version.ready) version.replicas.insert(-1);  // lives on the master
+  record.versions.push_back(std::move(version));
+  return DataHandle{id};
+}
+
+TaskId Runtime::submit(const std::string& name, const TaskOptions& options,
+                       const std::vector<Param>& params, TaskFn fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!fatal_error_.empty()) {
+    throw WorkflowError("submit after workflow failure: " + fatal_error_);
+  }
+  const TaskId id = static_cast<TaskId>(tasks_.size()) + 1;
+  auto task = std::make_unique<TaskRecord>();
+  task->id = id;
+  task->name = name;
+  task->options = options;
+  task->fn = std::move(fn);
+  task->original_params = params;
+  task->submit_ns = now_ns();
+
+  for (const Param& param : params) {
+    auto it = data_.find(param.handle.id);
+    if (it == data_.end()) {
+      throw std::logic_error("submit('" + name + "'): unknown data handle");
+    }
+    DataRecord& record = it->second;
+    ParamBinding binding;
+    binding.data = param.handle.id;
+    binding.direction = param.direction;
+
+    auto add_dep = [&](TaskId dep) {
+      if (dep == kNoTask || dep == id) return;
+      const TaskRecord& dep_task = *tasks_[dep - 1];
+      if (dep_task.state == TaskState::kCompleted) return;
+      task->deps.insert(dep);
+    };
+
+    if (param.direction == Direction::kIn || param.direction == Direction::kInOut) {
+      const std::size_t latest = record.versions.size() - 1;
+      const VersionRecord& version = record.versions[latest];
+      if (!version.ready && version.writer == kNoTask) {
+        throw std::logic_error("submit('" + name + "'): IN parameter reads data never written");
+      }
+      if (!version.ready && version.cancelled &&
+          version.writer != kNoTask &&
+          tasks_[version.writer - 1]->state == TaskState::kCompleted) {
+        throw std::logic_error("submit('" + name + "'): IN parameter reads released data");
+      }
+      binding.read_version = latest;
+      if (!version.ready) add_dep(version.writer);
+    }
+    if (param.direction == Direction::kOut || param.direction == Direction::kInOut) {
+      // Anti-dependencies: a writer must wait for earlier readers of the
+      // version it supersedes, and for the previous writer.
+      for (TaskId reader : record.readers_since_write) add_dep(reader);
+      add_dep(record.versions.back().writer);
+      record.readers_since_write.clear();
+
+      VersionRecord version;
+      version.writer = id;
+      version.value = std::make_shared<std::any>();
+      version.size_bytes = record.versions.back().size_bytes;
+      record.versions.push_back(std::move(version));
+      binding.write_version = record.versions.size() - 1;
+    }
+    if (param.direction == Direction::kIn) {
+      record.readers_since_write.push_back(id);
+    }
+    task->bindings.push_back(binding);
+  }
+
+  ++stats_.tasks_submitted;
+
+  // Checkpoint skip: a previously recorded task is completed immediately
+  // from its stored outputs, regardless of dependencies (recovery semantics).
+  if (checkpoints_ && !options.checkpoint_key.empty() && options.codec.usable() &&
+      checkpoints_->contains(options.checkpoint_key)) {
+    auto blobs = checkpoints_->load(options.checkpoint_key);
+    if (blobs.ok()) {
+      task->from_checkpoint = true;
+      tasks_.push_back(std::move(task));
+      commit_outputs_from_checkpoint(*tasks_.back(), *blobs);
+      completion_cv_.notify_all();
+      scheduler_cv_.notify_all();
+      return id;
+    }
+    LOG_WARN(kLogTag) << "checkpoint load failed for key '" << options.checkpoint_key
+                      << "': " << blobs.status().to_string() << "; re-executing";
+  }
+
+  // A dependency that already failed or was cancelled poisons this task.
+  bool poisoned = false;
+  for (TaskId dep : task->deps) {
+    const TaskState dep_state = tasks_[dep - 1]->state;
+    if (dep_state == TaskState::kFailed || dep_state == TaskState::kCancelled) {
+      poisoned = true;
+      break;
+    }
+  }
+  tasks_.push_back(std::move(task));
+  TaskRecord& record = *tasks_.back();
+  if (poisoned) {
+    record.state = TaskState::kCancelled;
+    ++stats_.tasks_cancelled;
+    ++terminal_tasks_;
+    for (const ParamBinding& binding : record.bindings) {
+      if (binding.direction != Direction::kIn) {
+        data_[binding.data].versions[binding.write_version].cancelled = true;
+      }
+    }
+    completion_cv_.notify_all();
+    return id;
+  }
+
+  record.pending = 0;
+  for (TaskId dep : record.deps) {
+    TaskRecord& dep_task = *tasks_[dep - 1];
+    if (dep_task.state == TaskState::kCompleted || dep_task.state == TaskState::kFailed ||
+        dep_task.state == TaskState::kCancelled) {
+      continue;
+    }
+    dep_task.successors.push_back(id);
+    ++record.pending;
+  }
+  if (record.pending == 0) {
+    enqueue_ready(id);
+  }
+  return id;
+}
+
+void Runtime::enqueue_ready(TaskId id) {
+  TaskRecord& task = *tasks_[id - 1];
+  task.state = TaskState::kReady;
+  const int node = pick_node(task);
+  if (node < 0) {
+    // No node satisfies the constraints: unschedulable, treat as failed.
+    task.state = TaskState::kFailed;
+    task.end_ns = now_ns();
+    task.error = "no node satisfies constraints";
+    ++stats_.tasks_failed;
+    ++terminal_tasks_;
+    cancel_successors(id);
+    if (task.options.on_failure == FailurePolicy::kFail) {
+      fatal_error_ = "task '" + task.name + "' unschedulable";
+    }
+    completion_cv_.notify_all();
+    return;
+  }
+  node_queues_[static_cast<std::size_t>(node)].push_back(id);
+  scheduler_cv_.notify_all();
+}
+
+bool Runtime::node_eligible(int node_index, const TaskRecord& task) const {
+  const NodeSpec& node = nodes_[static_cast<std::size_t>(node_index)];
+  for (const std::string& tag : task.options.constraints) {
+    if (node.tags.find(tag) == node.tags.end()) return false;
+  }
+  return true;
+}
+
+int Runtime::pick_node(const TaskRecord& task) {
+  if (!options_.locality_aware) {
+    // Round-robin over eligible nodes (ablation baseline).
+    for (std::size_t probe = 0; probe < nodes_.size(); ++probe) {
+      const std::size_t n = (round_robin_cursor_ + probe) % nodes_.size();
+      if (node_eligible(static_cast<int>(n), task)) {
+        round_robin_cursor_ = n + 1;
+        return static_cast<int>(n);
+      }
+    }
+    return -1;
+  }
+  int best = -1;
+  std::int64_t best_score = -1;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (!node_eligible(static_cast<int>(n), task)) continue;
+    // Locality score: bytes of the task's inputs already resident here,
+    // minus a queue-length penalty to keep load balanced.
+    std::int64_t local_bytes = 0;
+    for (const ParamBinding& binding : task.bindings) {
+      if (binding.direction == Direction::kOut) continue;
+      const VersionRecord& version = data_.at(binding.data).versions[binding.read_version];
+      if (version.replicas.count(static_cast<int>(n))) {
+        local_bytes += static_cast<std::int64_t>(version.size_bytes);
+      }
+    }
+    const std::int64_t penalty =
+        static_cast<std::int64_t>(node_queues_[n].size()) * 1024;  // ~1KB per queued task
+    const std::int64_t score = local_bytes - penalty;
+    if (best < 0 || score > best_score) {
+      best = static_cast<int>(n);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void Runtime::worker_loop(int node_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    scheduler_cv_.wait(lock, [&] {
+      if (stopping_) return true;
+      if (!node_queues_[static_cast<std::size_t>(node_index)].empty()) return true;
+      // Steal check: any queue with a task this node may run.
+      for (std::size_t n = 0; n < node_queues_.size(); ++n) {
+        if (n == static_cast<std::size_t>(node_index)) continue;
+        for (TaskId id : node_queues_[n]) {
+          if (node_eligible(node_index, *tasks_[id - 1])) return true;
+        }
+      }
+      return false;
+    });
+    if (stopping_) return;
+
+    TaskId task_id = kNoTask;
+    auto& own = node_queues_[static_cast<std::size_t>(node_index)];
+    while (!own.empty() && task_id == kNoTask) {
+      const TaskId candidate = own.front();
+      own.pop_front();
+      if (tasks_[candidate - 1]->state == TaskState::kReady) task_id = candidate;
+    }
+    if (task_id == kNoTask) {
+      // Steal from the longest eligible queue.
+      std::size_t victim = node_queues_.size();
+      std::size_t victim_len = 0;
+      for (std::size_t n = 0; n < node_queues_.size(); ++n) {
+        if (n == static_cast<std::size_t>(node_index)) continue;
+        if (node_queues_[n].size() <= victim_len) continue;
+        bool has_eligible = false;
+        for (TaskId id : node_queues_[n]) {
+          if (tasks_[id - 1]->state == TaskState::kReady && node_eligible(node_index, *tasks_[id - 1])) {
+            has_eligible = true;
+            break;
+          }
+        }
+        if (has_eligible) {
+          victim = n;
+          victim_len = node_queues_[n].size();
+        }
+      }
+      if (victim < node_queues_.size()) {
+        auto& q = node_queues_[victim];
+        for (auto it = q.begin(); it != q.end(); ++it) {
+          if (tasks_[*it - 1]->state == TaskState::kReady && node_eligible(node_index, *tasks_[*it - 1])) {
+            task_id = *it;
+            q.erase(it);
+            break;
+          }
+        }
+      }
+    }
+    if (task_id == kNoTask) continue;
+
+    lock.unlock();
+    execute_task(task_id, node_index);
+    lock.lock();
+  }
+}
+
+void Runtime::execute_task(TaskId id, int node_index) {
+  TaskContext ctx;
+  std::int64_t transfer_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TaskRecord& task = *tasks_[id - 1];
+    if (task.state != TaskState::kReady) return;
+    task.state = TaskState::kRunning;
+    task.node = node_index;
+    task.start_ns = task.start_ns < 0 ? now_ns() : task.start_ns;
+    ctx.params_ = task.original_params;
+    ctx.inputs_.resize(task.bindings.size());
+    ctx.outputs_.resize(task.bindings.size());
+    ctx.node_ = node_index;
+    ctx.task_id_ = id;
+    ctx.name_ = task.name;
+    ctx.attempt_ = task.attempts;
+    ++task.attempts;
+    ++stats_.tasks_executed;
+
+    for (std::size_t i = 0; i < task.bindings.size(); ++i) {
+      const ParamBinding& binding = task.bindings[i];
+      if (binding.direction == Direction::kOut) continue;
+      VersionRecord& version = data_.at(binding.data).versions[binding.read_version];
+      assert(version.ready);
+      ctx.inputs_[i] = *version.value;
+      if (!version.replicas.count(node_index)) {
+        version.replicas.insert(node_index);
+        ++stats_.transfers;
+        stats_.bytes_transferred += version.size_bytes;
+        transfer_bytes += static_cast<std::int64_t>(version.size_bytes);
+      }
+    }
+  }
+
+  // Simulated interconnect: pay for the replica copies outside the lock.
+  if (options_.transfer_ns_per_byte > 0 && transfer_bytes > 0) {
+    const auto delay = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(options_.transfer_ns_per_byte * static_cast<double>(transfer_bytes)));
+    std::this_thread::sleep_for(delay);
+  }
+  // Simulated container start-up (image instantiation before the task body).
+  if (options_.container_startup_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(options_.container_startup_ms * 1e6)));
+  }
+
+  std::string error;
+  bool success = true;
+  try {
+    TaskRecord& task = *tasks_[id - 1];  // fn/name immutable while running
+    task.fn(ctx);
+  } catch (const std::exception& e) {
+    success = false;
+    error = e.what();
+  } catch (...) {
+    success = false;
+    error = "unknown exception";
+  }
+
+  // Move the produced outputs into the task record under the lock inside
+  // finish_task; stash them on the context first.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TaskRecord& task = *tasks_[id - 1];
+    task.pending_outputs = std::move(ctx.outputs_);
+  }
+  finish_task(id, success, error);
+}
+
+void Runtime::commit_outputs_from_checkpoint(TaskRecord& task,
+                                             const std::vector<std::string>& blobs) {
+  std::size_t blob_index = 0;
+  for (const ParamBinding& binding : task.bindings) {
+    if (binding.direction == Direction::kIn) continue;
+    VersionRecord& version = data_[binding.data].versions[binding.write_version];
+    std::any value;
+    if (blob_index < blobs.size()) {
+      value = task.options.codec.deserialize(blobs[blob_index]);
+    }
+    ++blob_index;
+    version.value = std::make_shared<std::any>(std::move(value));
+    version.ready = true;
+    version.replicas.insert(-1);
+  }
+  task.state = TaskState::kCompleted;
+  task.start_ns = task.end_ns = now_ns();
+  ++stats_.tasks_from_checkpoint;
+  ++stats_.tasks_completed;
+  ++terminal_tasks_;
+}
+
+void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
+  std::vector<std::string> checkpoint_blobs;
+  bool want_checkpoint = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TaskRecord& task = *tasks_[id - 1];
+
+    if (!success) {
+      const FailurePolicy policy = task.options.on_failure;
+      LOG_DEBUG(kLogTag) << "task " << id << " ('" << task.name << "') failed (attempt "
+                         << task.attempts << ", policy " << failure_policy_name(policy)
+                         << "): " << error;
+      if (policy == FailurePolicy::kRetry && task.attempts <= task.options.max_retries) {
+        ++stats_.retries;
+        task.state = TaskState::kReady;
+        const int node = pick_node(task);
+        node_queues_[static_cast<std::size_t>(node < 0 ? 0 : node)].push_back(id);
+        scheduler_cv_.notify_all();
+        return;
+      }
+      if (policy == FailurePolicy::kIgnore) {
+        // Continue the workflow: outputs fall back to the superseded version's
+        // value (or stay empty), successors run.
+        ++stats_.tasks_failed;
+        task.error = error;
+        for (std::size_t i = 0; i < task.bindings.size(); ++i) {
+          const ParamBinding& binding = task.bindings[i];
+          if (binding.direction == Direction::kIn) continue;
+          auto& versions = data_[binding.data].versions;
+          VersionRecord& version = versions[binding.write_version];
+          version.value = versions[binding.write_version - 1].value;
+          version.size_bytes = versions[binding.write_version - 1].size_bytes;
+          version.ready = true;
+          version.replicas = versions[binding.write_version - 1].replicas;
+        }
+        complete_locked(task);
+        return;
+      }
+      // kFail or kRetry exhausted or kCancelSuccessors.
+      task.state = TaskState::kFailed;
+      task.error = error;
+      task.end_ns = now_ns();
+      ++stats_.tasks_failed;
+      ++terminal_tasks_;
+      for (const ParamBinding& binding : task.bindings) {
+        if (binding.direction != Direction::kIn) {
+          data_[binding.data].versions[binding.write_version].cancelled = true;
+        }
+      }
+      cancel_successors(id);
+      if (policy == FailurePolicy::kFail || policy == FailurePolicy::kRetry) {
+        // Retry exhaustion is fatal too: the task's result is required.
+        fatal_error_ = "task '" + task.name + "' failed: " + error;
+        // Cancel everything not yet running so the workflow drains.
+        for (auto& other : tasks_) {
+          if (other->state == TaskState::kPending || other->state == TaskState::kReady) {
+            cancel_locked(*other);
+          }
+        }
+      }
+      completion_cv_.notify_all();
+      scheduler_cv_.notify_all();
+      return;
+    }
+
+    // Success: publish outputs.
+    for (std::size_t i = 0; i < task.bindings.size(); ++i) {
+      const ParamBinding& binding = task.bindings[i];
+      if (binding.direction == Direction::kIn) continue;
+      auto& versions = data_[binding.data].versions;
+      VersionRecord& version = versions[binding.write_version];
+      TaskContext::Slot& slot = task.pending_outputs[i];
+      if (slot.written) {
+        version.value = std::make_shared<std::any>(std::move(slot.value));
+        if (slot.size_bytes) version.size_bytes = slot.size_bytes;
+      } else if (binding.direction == Direction::kInOut) {
+        version.value = versions[binding.read_version].value;  // unchanged
+      } else {
+        version.value = std::make_shared<std::any>();  // OUT never set: empty
+      }
+      version.ready = true;
+      version.replicas.insert(task.node);
+    }
+    if (checkpoints_ && !task.options.checkpoint_key.empty() && task.options.codec.usable()) {
+      want_checkpoint = true;
+      for (std::size_t i = 0; i < task.bindings.size(); ++i) {
+        if (task.bindings[i].direction == Direction::kIn) continue;
+        const VersionRecord& version = data_[task.bindings[i].data].versions[task.bindings[i].write_version];
+        checkpoint_blobs.push_back(task.options.codec.serialize(*version.value));
+      }
+    }
+    complete_locked(task);
+  }
+  if (want_checkpoint) {
+    const TaskRecord& task = *tasks_[id - 1];
+    const Status st = checkpoints_->save(task.options.checkpoint_key, checkpoint_blobs);
+    if (!st.ok()) {
+      LOG_WARN(kLogTag) << "checkpoint save failed for '" << task.options.checkpoint_key
+                        << "': " << st.to_string();
+    }
+  }
+}
+
+void Runtime::complete_locked(TaskRecord& task) {
+  task.state = TaskState::kCompleted;
+  task.end_ns = now_ns();
+  task.pending_outputs.clear();
+  ++stats_.tasks_completed;
+  ++terminal_tasks_;
+  for (TaskId succ : task.successors) {
+    TaskRecord& successor = *tasks_[succ - 1];
+    if (successor.state != TaskState::kPending) continue;
+    if (--successor.pending == 0) enqueue_ready(succ);
+  }
+  completion_cv_.notify_all();
+  scheduler_cv_.notify_all();
+}
+
+void Runtime::cancel_locked(TaskRecord& task) {
+  if (task.state == TaskState::kCompleted || task.state == TaskState::kFailed ||
+      task.state == TaskState::kCancelled) {
+    return;
+  }
+  task.state = TaskState::kCancelled;
+  task.end_ns = now_ns();
+  ++stats_.tasks_cancelled;
+  ++terminal_tasks_;
+  for (const ParamBinding& binding : task.bindings) {
+    if (binding.direction != Direction::kIn) {
+      data_[binding.data].versions[binding.write_version].cancelled = true;
+    }
+  }
+  for (TaskId succ : task.successors) cancel_locked(*tasks_[succ - 1]);
+}
+
+void Runtime::cancel_successors(TaskId id) {
+  for (TaskId succ : tasks_[id - 1]->successors) cancel_locked(*tasks_[succ - 1]);
+}
+
+std::any Runtime::sync(DataHandle handle) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = data_.find(handle.id);
+  if (it == data_.end()) throw std::logic_error("sync: unknown data handle");
+  const std::size_t latest = it->second.versions.size() - 1;
+  completion_cv_.wait(lock, [&] {
+    const VersionRecord& version = it->second.versions[latest];
+    return version.ready || version.cancelled || !fatal_error_.empty();
+  });
+  VersionRecord& version = it->second.versions[latest];
+  if (!version.ready) {
+    if (!fatal_error_.empty()) throw WorkflowError(fatal_error_);
+    throw WorkflowError("sync: producing task was cancelled");
+  }
+  if (!version.replicas.count(-1)) {
+    version.replicas.insert(-1);
+    ++stats_.sync_transfers;
+    stats_.bytes_transferred += version.size_bytes;
+  }
+  return *version.value;
+}
+
+void Runtime::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  completion_cv_.wait(lock, [&] { return terminal_tasks_ == tasks_.size(); });
+  if (!fatal_error_.empty()) throw WorkflowError(fatal_error_);
+}
+
+std::size_t Runtime::release_data(DataHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = data_.find(handle.id);
+  if (it == data_.end()) throw std::logic_error("release_data: unknown data handle");
+  // Every task touching this datum must be terminal: a version still being
+  // produced or read would lose its value mid-flight.
+  for (const VersionRecord& version : it->second.versions) {
+    if (version.writer != kNoTask) {
+      const TaskState state = tasks_[version.writer - 1]->state;
+      if (state != TaskState::kCompleted && state != TaskState::kFailed &&
+          state != TaskState::kCancelled) {
+        throw std::logic_error("release_data: a producing task is still active");
+      }
+    }
+  }
+  for (TaskId reader : it->second.readers_since_write) {
+    const TaskState state = tasks_[reader - 1]->state;
+    if (state != TaskState::kCompleted && state != TaskState::kFailed &&
+        state != TaskState::kCancelled) {
+      throw std::logic_error("release_data: a reading task is still active");
+    }
+  }
+  std::size_t released = 0;
+  for (VersionRecord& version : it->second.versions) {
+    if (version.value && version.value->has_value()) {
+      released += version.size_bytes;
+      version.value = std::make_shared<std::any>();
+      version.ready = false;  // later reads fail loudly instead of seeing empty
+      version.cancelled = true;
+      version.replicas.clear();
+    }
+  }
+  return released;
+}
+
+RuntimeStats Runtime::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+TaskState Runtime::task_state(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == kNoTask || id > tasks_.size()) throw std::out_of_range("task_state: bad id");
+  return tasks_[id - 1]->state;
+}
+
+Trace Runtime::trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TaskTrace> traces;
+  traces.reserve(tasks_.size());
+  for (const auto& task : tasks_) {
+    TaskTrace t;
+    t.id = task->id;
+    t.name = task->name;
+    t.state = task->state;
+    t.node = task->node;
+    t.submit_ns = task->submit_ns;
+    t.start_ns = task->start_ns;
+    t.end_ns = task->end_ns;
+    t.deps.assign(task->deps.begin(), task->deps.end());
+    t.from_checkpoint = task->from_checkpoint;
+    traces.push_back(std::move(t));
+  }
+  return Trace(std::move(traces));
+}
+
+}  // namespace climate::taskrt

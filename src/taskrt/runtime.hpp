@@ -1,0 +1,287 @@
+// The task-based workflow runtime — this repository's equivalent of
+// PyCOMPSs + the COMPSs runtime (paper section 4.2.1).
+//
+// Programming model
+// -----------------
+// The application (the "main program", running on the master thread)
+// registers data with the runtime and submits tasks whose parameters are
+// annotated with a direction:
+//
+//   Runtime rt(options);
+//   DataHandle a = rt.create_data(std::any(42));
+//   DataHandle b = rt.create_data();
+//   rt.submit("double", {}, {In(a), Out(b)}, [](TaskContext& ctx) {
+//     ctx.set_out(1, std::any(2 * ctx.in_as<int>(0)));
+//   });
+//   int result = rt.sync_as<int>(b);
+//
+// Exactly as in the original, every submission adds a node to a task graph;
+// data dependencies are inferred from the declared directionality (true
+// dependencies on the last writer, anti-dependencies of writers on earlier
+// readers), independent tasks run concurrently on worker nodes, and values
+// are synchronized back to the master only when requested.
+//
+// Cluster model
+// -------------
+// Worker "nodes" are threads with a NodeSpec (cores, memory, capability
+// tags). The scheduler is locality-aware: it places each ready task on the
+// eligible node already holding the largest share of its input bytes, and
+// accounts replica copies (count + bytes, optionally time-delayed) when
+// inputs must move — the runtime's "transfers data on-demand between the
+// computing nodes" behaviour.
+//
+// Fault tolerance mirrors the COMPSs mechanisms: per-task failure policies
+// (fail / retry / ignore / cancel successors) and task-level checkpointing
+// through CheckpointStore.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "taskrt/checkpoint.hpp"
+#include "taskrt/trace.hpp"
+#include "taskrt/types.hpp"
+
+namespace climate::taskrt {
+
+class Runtime;
+
+/// Handed to every task body: typed access to the task's parameters and
+/// output slots, plus placement metadata.
+class TaskContext {
+ public:
+  /// Value of parameter `idx` (IN or INOUT). Throws on OUT params.
+  const std::any& in(std::size_t idx) const;
+
+  /// Typed convenience over in().
+  template <typename T>
+  const T& in_as(std::size_t idx) const {
+    return std::any_cast<const T&>(in(idx));
+  }
+
+  /// Sets the value produced for parameter `idx` (OUT or INOUT).
+  /// `size_bytes` is the locality/transfer size hint (0 keeps the default).
+  void set_out(std::size_t idx, std::any value, std::size_t size_bytes = 0);
+
+  /// Node index this task is executing on.
+  int node() const { return node_; }
+  /// Runtime-wide task id.
+  TaskId task_id() const { return task_id_; }
+  /// Function name the task was submitted under.
+  const std::string& name() const { return name_; }
+  /// Current retry attempt, 0 on the first execution.
+  int attempt() const { return attempt_; }
+
+  /// Burns wall-clock time to model a compute phase of the given duration
+  /// (used by benches to give tasks realistic, configurable costs).
+  void simulate_compute(std::chrono::nanoseconds duration) const;
+
+ private:
+  friend class Runtime;
+  struct Slot {
+    std::any value;
+    std::size_t size_bytes = 0;
+    bool written = false;
+  };
+
+  std::vector<Param> params_;
+  std::vector<std::any> inputs_;   // indexed like params_; empty for OUT
+  std::vector<Slot> outputs_;      // indexed like params_; used for OUT/INOUT
+  int node_ = -1;
+  TaskId task_id_ = 0;
+  std::string name_;
+  int attempt_ = 0;
+};
+
+/// Task body signature.
+using TaskFn = std::function<void(TaskContext&)>;
+
+/// Runtime construction options.
+struct RuntimeOptions {
+  /// Explicit cluster description; when empty, `workers` homogeneous
+  /// single-core nodes named "node<i>" are created.
+  std::vector<NodeSpec> nodes;
+  std::size_t workers = 4;
+
+  /// Simulated interconnect cost applied when a task's inputs must be
+  /// replicated to its executing node (0 disables the delay; counting
+  /// happens regardless).
+  double transfer_ns_per_byte = 0.0;
+
+  /// Locality-aware placement (prefer the node already holding the task's
+  /// input bytes). When false, ready tasks are placed round-robin — the
+  /// ablation baseline measured by bench_a3_locality.
+  bool locality_aware = true;
+
+  /// Simulated container start-up cost paid before every task body —
+  /// models running tasks inside Singularity-style images (the paper's
+  /// future-work question on container impact; bench_a2_containers).
+  double container_startup_ms = 0.0;
+
+  /// Directory for task-level checkpoints; empty disables checkpointing.
+  std::string checkpoint_dir;
+
+  /// Default size hint in bytes for data without an explicit hint.
+  std::size_t default_size_hint = 8;
+};
+
+/// Thrown by sync()/wait_all() when the workflow failed (a task with the
+/// kFail policy threw, or a synced datum's producer was cancelled).
+class WorkflowError : public std::runtime_error {
+ public:
+  explicit WorkflowError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The workflow runtime. Thread-safety: create_data/submit/sync/wait_all are
+/// master-thread operations (submission from inside task bodies is not
+/// supported, matching the master-worker model of the original).
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  /// Waits for all tasks, then stops the worker nodes.
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Registers a datum. If `initial` has a value the datum starts ready on
+  /// the master; otherwise the first writer task produces version 1.
+  DataHandle create_data(std::any initial = {}, std::size_t size_bytes = 0);
+
+  /// Submits a task. Dependencies are inferred from `params` directions.
+  /// Returns the task id (also the node label in the exported graph).
+  TaskId submit(const std::string& name, const TaskOptions& options,
+                const std::vector<Param>& params, TaskFn fn);
+
+  /// Convenience overload with default options.
+  TaskId submit(const std::string& name, const std::vector<Param>& params, TaskFn fn) {
+    return submit(name, TaskOptions{}, params, std::move(fn));
+  }
+
+  /// Blocks until the latest version of `handle` (as of this call) is
+  /// produced, then returns its value (synchronized to the master).
+  std::any sync(DataHandle handle);
+
+  /// Typed convenience over sync().
+  template <typename T>
+  T sync_as(DataHandle handle) {
+    return std::any_cast<T>(sync(handle));
+  }
+
+  /// Blocks until every submitted task reached a terminal state. Throws
+  /// WorkflowError if a kFail task failed permanently.
+  void wait_all();
+
+  /// Drops the stored values of every version of `handle`, freeing memory.
+  /// Only legal once all submitted readers and writers of the datum are
+  /// terminal; later reads of the released datum throw. Returns the number
+  /// of bytes (size hints) released.
+  std::size_t release_data(DataHandle handle);
+
+  /// Number of worker nodes.
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+
+  /// Counters snapshot.
+  RuntimeStats stats() const;
+
+  /// Trace/graph snapshot (callable at any time; complete after wait_all).
+  Trace trace() const;
+
+  /// State of one task.
+  TaskState task_state(TaskId id) const;
+
+ private:
+  struct VersionRecord {
+    // Shared so tasks can reference values without copying; versions are
+    // immutable once ready (writes always create new versions).
+    std::shared_ptr<std::any> value;
+    std::size_t size_bytes = 0;
+    bool ready = false;
+    bool cancelled = false;
+    TaskId writer = kNoTask;          // task producing this version
+    std::set<int> replicas;           // node indices holding it; -1 = master
+  };
+
+  struct DataRecord {
+    std::vector<VersionRecord> versions;
+    std::vector<TaskId> readers_since_write;  // for WAR dependencies
+  };
+
+  struct ParamBinding {
+    DataId data = 0;
+    Direction direction = Direction::kIn;
+    std::size_t read_version = 0;   // valid for IN/INOUT
+    std::size_t write_version = 0;  // valid for OUT/INOUT
+  };
+
+  struct TaskRecord {
+    TaskId id = 0;
+    std::string name;
+    TaskOptions options;
+    TaskFn fn;
+    std::vector<ParamBinding> bindings;
+    std::vector<Param> original_params;
+    std::set<TaskId> deps;         // predecessor tasks still incomplete at submit
+    std::size_t pending = 0;       // unfinished predecessors
+    std::vector<TaskId> successors;
+    TaskState state = TaskState::kPending;
+    int attempts = 0;
+    int node = -1;
+    std::int64_t submit_ns = 0;
+    std::int64_t start_ns = -1;
+    std::int64_t end_ns = -1;
+    bool from_checkpoint = false;
+    std::string error;
+    std::vector<TaskContext::Slot> pending_outputs;  // staged between run and commit
+  };
+
+  // --- scheduling internals (mutex_ held unless stated) ---
+  void enqueue_ready(TaskId id);
+  void worker_loop(int node_index);
+  void execute_task(TaskId id, int node_index);
+  void finish_task(TaskId id, bool success, const std::string& error);
+  void complete_locked(TaskRecord& task);
+  void cancel_locked(TaskRecord& task);
+  void cancel_successors(TaskId id);
+  void commit_outputs_from_checkpoint(TaskRecord& task, const std::vector<std::string>& blobs);
+  int pick_node(const TaskRecord& task);
+  bool node_eligible(int node_index, const TaskRecord& task) const;
+  std::int64_t now_ns() const;
+
+  RuntimeOptions options_;
+  std::vector<NodeSpec> nodes_;
+  std::optional<CheckpointStore> checkpoints_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable scheduler_cv_;   // wakes workers
+  std::condition_variable completion_cv_;  // wakes sync/wait_all
+  bool stopping_ = false;
+
+  std::map<DataId, DataRecord> data_;
+  std::vector<std::unique_ptr<TaskRecord>> tasks_;  // index = id - 1
+  std::vector<std::deque<TaskId>> node_queues_;     // per-node ready queues
+  std::size_t terminal_tasks_ = 0;
+  std::string fatal_error_;
+
+  DataId next_data_id_ = 1;
+  std::size_t round_robin_cursor_ = 0;  // used when locality_aware is off
+  RuntimeStats stats_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace climate::taskrt

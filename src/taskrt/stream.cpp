@@ -1,0 +1,103 @@
+#include "taskrt/stream.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace climate::taskrt {
+
+namespace fs = std::filesystem;
+
+void DataStream::publish(std::any item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw std::logic_error("DataStream::publish after close");
+    queue_.push_back(std::move(item));
+  }
+  published_.fetch_add(1);
+  cv_.notify_one();
+}
+
+void DataStream::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::optional<std::any> DataStream::next() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  std::any item = std::move(queue_.front());
+  queue_.pop_front();
+  consumed_.fetch_add(1);
+  return item;
+}
+
+std::optional<std::any> DataStream::try_next() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  std::any item = std::move(queue_.front());
+  queue_.pop_front();
+  consumed_.fetch_add(1);
+  return item;
+}
+
+bool DataStream::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_ && queue_.empty();
+}
+
+DirectoryWatcher::DirectoryWatcher(std::string directory, std::string suffix,
+                                   std::function<void(const std::string&)> on_file,
+                                   std::chrono::milliseconds poll_interval)
+    : directory_(std::move(directory)),
+      suffix_(std::move(suffix)),
+      on_file_(std::move(on_file)),
+      poll_interval_(poll_interval) {
+  thread_ = std::thread([this] { run(); });
+}
+
+DirectoryWatcher::~DirectoryWatcher() { stop(); }
+
+void DirectoryWatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_.store(true);
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DirectoryWatcher::poll_once() {
+  std::error_code ec;
+  std::vector<std::string> fresh;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (ec) return;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string path = entry.path().string();
+    if (!suffix_.empty() && !common::ends_with(path, suffix_)) continue;
+    if (seen_.insert(path).second) fresh.push_back(path);
+  }
+  std::sort(fresh.begin(), fresh.end());
+  for (const std::string& path : fresh) {
+    on_file_(path);
+    seen_count_.fetch_add(1);
+  }
+}
+
+void DirectoryWatcher::run() {
+  while (!stopping_.load()) {
+    poll_once();
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait_for(lock, poll_interval_, [this] { return stopping_.load(); });
+  }
+  poll_once();  // final round: deliver files that appeared before stop()
+}
+
+}  // namespace climate::taskrt

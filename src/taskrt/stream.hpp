@@ -1,0 +1,103 @@
+// Streaming interface of the runtime (paper section 5.2: "a streaming
+// interface available in PyCOMPSs has been leveraged to monitor the file
+// production progress and detect when a (full) new year of data is
+// available").
+//
+// Two pieces:
+//  - DataStream: a closeable multi-producer/multi-consumer FIFO of std::any
+//    items, the generic producer/consumer channel between tasks;
+//  - DirectoryWatcher: a polling watcher that publishes file paths appearing
+//    in a directory, used to detect the ESM's daily NetCDF output.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+
+namespace climate::taskrt {
+
+/// A closeable FIFO channel of type-erased items.
+class DataStream {
+ public:
+  /// Appends an item. Publishing after close() throws.
+  void publish(std::any item);
+
+  /// Marks the stream finished; consumers drain the remaining items and then
+  /// observe end-of-stream.
+  void close();
+
+  /// Blocks for the next item; returns nullopt once the stream is closed and
+  /// drained.
+  std::optional<std::any> next();
+
+  /// Non-blocking variant; returns nullopt when currently empty (check
+  /// `finished()` to distinguish exhaustion from emptiness).
+  std::optional<std::any> try_next();
+
+  /// True once close() was called and every item has been consumed.
+  bool finished() const;
+
+  /// Items published so far.
+  std::size_t published() const { return published_.load(); }
+
+  /// Items consumed so far.
+  std::size_t consumed() const { return consumed_.load(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::any> queue_;
+  bool closed_ = false;
+  std::atomic<std::size_t> published_{0};
+  std::atomic<std::size_t> consumed_{0};
+};
+
+/// Polls a directory and publishes paths of files ending in `suffix`, each
+/// exactly once, in lexicographic order within a poll round. Files appearing
+/// while the watcher runs are picked up on a later round — the mechanism the
+/// workflow uses to notice each completed day/year of simulation output.
+class DirectoryWatcher {
+ public:
+  /// Starts watching immediately. `on_file` runs on the watcher thread.
+  DirectoryWatcher(std::string directory, std::string suffix,
+                   std::function<void(const std::string&)> on_file,
+                   std::chrono::milliseconds poll_interval = std::chrono::milliseconds(5));
+
+  /// Stops after one final poll round, so files present at stop time are
+  /// never missed.
+  ~DirectoryWatcher();
+
+  DirectoryWatcher(const DirectoryWatcher&) = delete;
+  DirectoryWatcher& operator=(const DirectoryWatcher&) = delete;
+
+  /// Requests shutdown and joins the watcher thread (idempotent).
+  void stop();
+
+  /// Number of files reported so far.
+  std::size_t seen() const { return seen_count_.load(); }
+
+ private:
+  void poll_once();
+  void run();
+
+  std::string directory_;
+  std::string suffix_;
+  std::function<void(const std::string&)> on_file_;
+  std::chrono::milliseconds poll_interval_;
+  std::set<std::string> seen_;
+  std::atomic<std::size_t> seen_count_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;  // interrupts the inter-poll sleep
+  std::thread thread_;
+};
+
+}  // namespace climate::taskrt

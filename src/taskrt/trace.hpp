@@ -1,0 +1,70 @@
+// Execution trace of a workflow run: per-task timings and placement, plus
+// exporters for the artifacts the paper shows — the runtime task graph of
+// Figure 3 (DOT, one colour per task function) and Gantt/overlap metrics
+// used by the concurrency experiment (E2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "taskrt/types.hpp"
+
+namespace climate::taskrt {
+
+/// One task's trace record. Times are nanoseconds since runtime start.
+struct TaskTrace {
+  TaskId id = 0;
+  std::string name;          ///< Function name (graph colour class).
+  TaskState state = TaskState::kPending;
+  int node = -1;             ///< Executing node, -1 if never ran.
+  std::int64_t submit_ns = 0;
+  std::int64_t start_ns = -1;
+  std::int64_t end_ns = -1;
+  std::vector<TaskId> deps;  ///< Predecessor task ids.
+  bool from_checkpoint = false;
+};
+
+/// Snapshot of a finished (or running) workflow's task graph and timings.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TaskTrace> tasks) : tasks_(std::move(tasks)) {}
+
+  const std::vector<TaskTrace>& tasks() const { return tasks_; }
+
+  /// Number of tasks per function name (the "circles per colour" of Fig. 3).
+  std::map<std::string, std::size_t> counts_by_name() const;
+
+  /// Total number of dependency edges.
+  std::size_t edge_count() const;
+
+  /// Wall-clock span from first task start to last task end, ns.
+  std::int64_t makespan_ns() const;
+
+  /// Sum of task execution times, ns (serial work).
+  std::int64_t total_busy_ns() const;
+
+  /// Fraction of `name_a` execution time overlapped with any `name_b`
+  /// execution (the paper's simulation/analytics concurrency claim).
+  double overlap_fraction(const std::string& name_a, const std::string& name_b) const;
+
+  /// Busy fraction of each node over the makespan (node index -> [0,1]).
+  std::map<int, double> node_utilization() const;
+
+  /// Total execution time per function name, ns.
+  std::map<std::string, std::int64_t> busy_ns_by_name() const;
+
+  /// Graphviz DOT rendering: one node per task, coloured by function name
+  /// (Figure 3 regeneration). Stable colour assignment in name order.
+  std::string to_dot() const;
+
+  /// CSV rows "id,name,node,start_us,end_us" for Gantt plotting.
+  std::string to_gantt_csv() const;
+
+ private:
+  std::vector<TaskTrace> tasks_;
+};
+
+}  // namespace climate::taskrt

@@ -1,0 +1,97 @@
+// Core vocabulary of the task runtime (the PyCOMPSs / COMPSs-runtime
+// equivalent, paper section 4.2.1): data handles with directionality,
+// task options (failure policies, constraints, checkpoint keys) and
+// node descriptions for the simulated cluster.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace climate::taskrt {
+
+/// Identifier of a logical datum registered with the runtime.
+using DataId = std::uint64_t;
+/// Identifier of a submitted task (1-based; 0 is "no task").
+using TaskId = std::uint64_t;
+
+inline constexpr TaskId kNoTask = 0;
+
+/// Parameter directionality, mirroring the @task decorator clauses: IN is
+/// consumed, OUT is produced, INOUT is read and updated in place.
+enum class Direction { kIn, kOut, kInOut };
+
+/// A lightweight reference to runtime-managed data. Copyable; all state
+/// lives in the runtime's data store.
+struct DataHandle {
+  DataId id = 0;
+  bool valid() const { return id != 0; }
+  bool operator==(const DataHandle&) const = default;
+  bool operator<(const DataHandle& other) const { return id < other.id; }
+};
+
+/// One task parameter: which datum and how the task accesses it.
+struct Param {
+  DataHandle handle;
+  Direction direction = Direction::kIn;
+};
+
+inline Param In(DataHandle h) { return {h, Direction::kIn}; }
+inline Param Out(DataHandle h) { return {h, Direction::kOut}; }
+inline Param InOut(DataHandle h) { return {h, Direction::kInOut}; }
+
+/// Behaviour applied when a task body throws, mirroring the COMPSs
+/// task-failure management options (retry / ignore / cancel successors /
+/// fail the whole workflow).
+enum class FailurePolicy { kFail, kRetry, kIgnore, kCancelSuccessors };
+
+const char* failure_policy_name(FailurePolicy policy);
+
+/// Serializer pair used by task-level checkpointing: turns each output value
+/// into bytes and back.
+struct OutputCodec {
+  std::function<std::string(const std::any&)> serialize;
+  std::function<std::any(const std::string&)> deserialize;
+  bool usable() const { return static_cast<bool>(serialize) && static_cast<bool>(deserialize); }
+};
+
+/// Per-task options (the decorator arguments of the Python original).
+struct TaskOptions {
+  FailurePolicy on_failure = FailurePolicy::kFail;
+  int max_retries = 2;                 ///< Used when on_failure == kRetry.
+  std::set<std::string> constraints;   ///< Node tags required (e.g. "gpu").
+  std::string checkpoint_key;          ///< Stable key enabling checkpoint skip.
+  OutputCodec codec;                   ///< Required for checkpointing outputs.
+};
+
+/// Description of one simulated compute node of the cluster.
+struct NodeSpec {
+  std::string name;
+  int cores = 1;
+  double memory_gb = 8.0;
+  std::set<std::string> tags;  ///< Capabilities matched against constraints.
+};
+
+/// Final state of a task.
+enum class TaskState { kPending, kReady, kRunning, kCompleted, kFailed, kCancelled };
+
+const char* task_state_name(TaskState state);
+
+/// Aggregate counters exposed by the runtime for benches and tests.
+struct RuntimeStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_executed = 0;        ///< Bodies actually run (includes retries).
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_failed = 0;
+  std::uint64_t tasks_cancelled = 0;
+  std::uint64_t tasks_from_checkpoint = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t transfers = 0;             ///< Inter-node replica copies.
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t sync_transfers = 0;        ///< Replicas pulled to the master.
+};
+
+}  // namespace climate::taskrt

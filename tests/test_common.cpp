@@ -1,0 +1,248 @@
+// Unit tests for the common utilities: grid geometry, statistics, strings,
+// RNG determinism, thread pool, images.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/grid.hpp"
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+
+namespace climate::common {
+namespace {
+
+TEST(LatLonGrid, CoordinatesSpanGlobe) {
+  LatLonGrid grid(96, 144);
+  EXPECT_EQ(grid.nlat(), 96u);
+  EXPECT_EQ(grid.nlon(), 144u);
+  EXPECT_NEAR(grid.lat(0), -90.0 + 0.5 * 180.0 / 96, 1e-9);
+  EXPECT_NEAR(grid.lat(95), 90.0 - 0.5 * 180.0 / 96, 1e-9);
+  EXPECT_NEAR(grid.lon(0), 0.0, 1e-9);
+  EXPECT_LT(grid.lon(143), 360.0);
+}
+
+TEST(LatLonGrid, AreaWeightsSumToOne) {
+  LatLonGrid grid(48, 96);
+  double total = 0.0;
+  for (std::size_t i = 0; i < grid.nlat(); ++i) {
+    total += grid.area_weight(i) * static_cast<double>(grid.nlon());
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LatLonGrid, NearestLookupRoundTrips) {
+  LatLonGrid grid(90, 180);
+  for (std::size_t i = 0; i < grid.nlat(); i += 7) {
+    EXPECT_EQ(grid.nearest_lat(grid.lat(i)), i);
+  }
+  for (std::size_t j = 0; j < grid.nlon(); j += 11) {
+    EXPECT_EQ(grid.nearest_lon(grid.lon(j)), j);
+  }
+  // Longitude wrap.
+  EXPECT_EQ(grid.nearest_lon(-2.0), grid.nearest_lon(358.0));
+}
+
+TEST(LatLonGrid, WrapLon) {
+  LatLonGrid grid(10, 20);
+  EXPECT_EQ(grid.wrap_lon(-1), 19u);
+  EXPECT_EQ(grid.wrap_lon(20), 0u);
+  EXPECT_EQ(grid.wrap_lon(41), 1u);
+}
+
+TEST(GreatCircle, KnownDistances) {
+  // Quarter of the equator.
+  EXPECT_NEAR(great_circle_km(0, 0, 0, 90), kEarthRadiusKm * kPi / 2, 1.0);
+  // Pole to equator.
+  EXPECT_NEAR(great_circle_km(90, 0, 0, 0), kEarthRadiusKm * kPi / 2, 1.0);
+  // Identity.
+  EXPECT_NEAR(great_circle_km(45, 120, 45, 120), 0.0, 1e-9);
+}
+
+TEST(Field, BasicStats) {
+  Field field(4, 4, 2.0f);
+  field.at(1, 1) = 10.0f;
+  field.at(2, 2) = -6.0f;
+  EXPECT_FLOAT_EQ(field.max(), 10.0f);
+  EXPECT_FLOAT_EQ(field.min(), -6.0f);
+  EXPECT_NEAR(field.mean(), (14 * 2.0 + 10.0 - 6.0) / 16.0, 1e-6);
+}
+
+TEST(Bilinear, InterpolatesMidpoints) {
+  Field field(2, 2);
+  field.at(0, 0) = 0.0f;
+  field.at(0, 1) = 2.0f;
+  field.at(1, 0) = 4.0f;
+  field.at(1, 1) = 6.0f;
+  EXPECT_FLOAT_EQ(bilinear_sample(field, 0.0, 0.0), 0.0f);
+  EXPECT_FLOAT_EQ(bilinear_sample(field, 0.5, 0.0), 2.0f);
+  EXPECT_FLOAT_EQ(bilinear_sample(field, 0.0, 0.5), 1.0f);
+  EXPECT_FLOAT_EQ(bilinear_sample(field, 0.5, 0.5), 3.0f);
+}
+
+TEST(Regrid, PreservesConstantFields) {
+  Field field(8, 16, 3.5f);
+  Field out = regrid_bilinear(field, 4, 8);
+  ASSERT_EQ(out.nlat(), 4u);
+  ASSERT_EQ(out.nlon(), 8u);
+  for (float v : out.data()) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(Regrid, UpsamplePreservesMean) {
+  Field field(6, 12);
+  Rng rng(3);
+  for (auto& v : field.data()) v = static_cast<float>(rng.uniform(0, 10));
+  Field up = regrid_bilinear(field, 24, 48);
+  EXPECT_NEAR(up.mean(), field.mean(), 0.35);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats stats;
+  const std::vector<double> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (double v : values) stats.add(v);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), 4.5, 1e-12);
+  EXPECT_NEAR(stats.variance(), 6.0, 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 8.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.normal(5, 3);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Quantile, Median) {
+  EXPECT_NEAR(quantile({3, 1, 2}, 0.5), 2.0, 1e-12);
+  EXPECT_NEAR(quantile({1, 2, 3, 4}, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(quantile({1, 2, 3, 4}, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile({1, 2, 3, 4}, 1.0), 4.0, 1e-12);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Strings, SplitTrimJoin) {
+  EXPECT_EQ(split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(split("a,b,,c", ',')[2], "");
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_TRUE(starts_with("prefix_x", "prefix"));
+  EXPECT_TRUE(ends_with("file.nc", ".nc"));
+  EXPECT_FALSE(ends_with("file.txt", ".nc"));
+}
+
+TEST(Strings, FormatAndBytes) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+  EXPECT_EQ(human_bytes(1024.0 * 1024.0 * 271), "271.0 MB");
+}
+
+TEST(Strings, Fnv1a64Stable) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(hex64(0).size(), 16u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8, [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, WorkerIndexIsStable) {
+  ThreadPool pool(2);
+  std::set<int> seen;
+  std::mutex m;
+  pool.parallel_for(32, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.insert(ThreadPool::current_worker());
+  });
+  for (int w : seen) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 2);
+  }
+  EXPECT_EQ(ThreadPool::current_worker(), -1);  // caller is not a worker
+}
+
+TEST(Image, WritesPgmAndPpm) {
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  Field field(8, 16);
+  for (std::size_t i = 0; i < field.size(); ++i) field[i] = static_cast<float>(i);
+  ASSERT_TRUE(write_pgm(dir + "/t.pgm", field, 0.0f, 127.0f).ok());
+  ASSERT_TRUE(write_ppm_diverging(dir + "/t.ppm", field, 0.0f, 127.0f).ok());
+  EXPECT_GT(std::filesystem::file_size(dir + "/t.pgm"), 8u * 16u);
+  EXPECT_GT(std::filesystem::file_size(dir + "/t.ppm"), 3u * 8u * 16u);
+}
+
+TEST(Image, AsciiMapHasExpectedShape) {
+  Field field(16, 32, 1.0f);
+  const std::string art = ascii_map(field, 32);
+  const std::vector<std::string> rows = split(art, '\n');
+  EXPECT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), 32u);
+}
+
+}  // namespace
+}  // namespace climate::common

@@ -1,0 +1,615 @@
+// Tests for the datacube framework: storage model, operators, catalog,
+// client bindings, import/export, and operator algebra properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "datacube/client.hpp"
+#include "datacube/server.hpp"
+#include "ncio/ncfile.hpp"
+
+namespace climate::datacube {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builds a small cube of rows x alen with values f(row, k).
+std::string make_test_cube(Server& server, std::size_t rows, std::size_t alen,
+                           float (*fn)(std::size_t, std::size_t)) {
+  std::vector<float> dense(rows * alen);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = 0; k < alen; ++k) dense[r * alen + k] = fn(r, k);
+  }
+  auto pid = server.create_cube("m", {{"row", rows, {}}}, {"t", alen, {}}, dense, "test cube");
+  EXPECT_TRUE(pid.ok());
+  return *pid;
+}
+
+TEST(CubeData, ValidateAndDense) {
+  CubeData cube;
+  cube.measure = "m";
+  cube.explicit_dims = {{"row", 4, {}}};
+  cube.implicit_dim = {"t", 3, {}};
+  cube.fragments = make_fragments(4, 3, 2, 2);
+  EXPECT_TRUE(cube.validate().ok());
+  EXPECT_EQ(cube.row_count(), 4u);
+  EXPECT_EQ(cube.element_count(), 12u);
+  EXPECT_EQ(cube.to_dense().size(), 12u);
+}
+
+TEST(CubeData, FragmentsPartitionRows) {
+  const auto fragments = make_fragments(10, 2, 3, 2);
+  ASSERT_EQ(fragments.size(), 3u);
+  std::size_t covered = 0;
+  for (const Fragment& f : fragments) {
+    EXPECT_EQ(f.row_start, covered);
+    covered += f.row_count;
+    EXPECT_LT(f.server, 2);
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(CubeData, RowMultiIndex) {
+  CubeData cube;
+  cube.explicit_dims = {{"a", 3, {}}, {"b", 4, {}}};
+  cube.implicit_dim = {"t", 1, {}};
+  EXPECT_EQ(cube.row_multi_index(0), (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(cube.row_multi_index(5), (std::vector<std::size_t>{1, 1}));
+  EXPECT_EQ(cube.row_multi_index(11), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Server, ReduceOperators) {
+  Server server(2);
+  const std::string pid =
+      make_test_cube(server, 3, 4, [](std::size_t r, std::size_t k) {
+        return static_cast<float>(r * 10 + k);
+      });
+  // Row r holds {10r, 10r+1, 10r+2, 10r+3}.
+  auto check = [&](ReduceOp op, std::vector<float> expected) {
+    auto out = server.reduce(pid, op);
+    ASSERT_TRUE(out.ok());
+    auto dense = server.fetch_dense(*out);
+    ASSERT_TRUE(dense.ok());
+    ASSERT_EQ(dense->size(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) EXPECT_NEAR((*dense)[r], expected[r], 1e-4);
+  };
+  check(ReduceOp::kMax, {3, 13, 23});
+  check(ReduceOp::kMin, {0, 10, 20});
+  check(ReduceOp::kSum, {6, 46, 86});
+  check(ReduceOp::kAvg, {1.5, 11.5, 21.5});
+  check(ReduceOp::kCount, {4, 4, 4});
+}
+
+TEST(Server, ReduceStd) {
+  Server server(1);
+  const std::string pid =
+      make_test_cube(server, 1, 4, [](std::size_t, std::size_t k) {
+        return static_cast<float>(k);  // {0,1,2,3}: population std = sqrt(1.25)
+      });
+  auto out = server.reduce(pid, ReduceOp::kStd);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR((*server.fetch_dense(*out))[0], std::sqrt(1.25f), 1e-5);
+}
+
+TEST(Server, GroupedReduce) {
+  Server server(2);
+  const std::string pid =
+      make_test_cube(server, 2, 6, [](std::size_t r, std::size_t k) {
+        return static_cast<float>(r * 100 + k);
+      });
+  auto out = server.reduce(pid, ReduceOp::kSum, 2);  // pairs
+  ASSERT_TRUE(out.ok());
+  auto dense = server.fetch_dense(*out);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_EQ(dense->size(), 2u * 3u);
+  EXPECT_FLOAT_EQ((*dense)[0], 1.0f);   // 0+1
+  EXPECT_FLOAT_EQ((*dense)[1], 5.0f);   // 2+3
+  EXPECT_FLOAT_EQ((*dense)[2], 9.0f);   // 4+5
+  EXPECT_FLOAT_EQ((*dense)[3], 201.0f); // 100+101
+}
+
+TEST(Server, GroupedReduceUnevenTail) {
+  Server server(1);
+  const std::string pid = make_test_cube(server, 1, 5, [](std::size_t, std::size_t k) {
+    return static_cast<float>(k + 1);  // {1..5}
+  });
+  auto out = server.reduce(pid, ReduceOp::kSum, 2);
+  ASSERT_TRUE(out.ok());
+  auto dense = server.fetch_dense(*out);
+  EXPECT_EQ((*dense), (std::vector<float>{3, 7, 5}));  // (1+2)(3+4)(5)
+}
+
+TEST(Server, ApplyExpression) {
+  Server server(2);
+  const std::string pid = make_test_cube(server, 2, 3, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(r + k);
+  });
+  auto out = server.apply(pid, "measure * 2 + 1");
+  ASSERT_TRUE(out.ok());
+  auto dense = server.fetch_dense(*out);
+  EXPECT_EQ(*dense, (std::vector<float>{1, 3, 5, 3, 5, 7}));
+}
+
+TEST(Server, ApplyBadExpressionFails) {
+  Server server(1);
+  const std::string pid = make_test_cube(server, 1, 2, [](std::size_t, std::size_t) {
+    return 0.0f;
+  });
+  EXPECT_FALSE(server.apply(pid, "nonsense(((").ok());
+}
+
+TEST(Server, Intercube) {
+  Server server(2);
+  const std::string a = make_test_cube(server, 2, 2, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(10 * (r + 1) + k);
+  });
+  const std::string b = make_test_cube(server, 2, 2, [](std::size_t, std::size_t) {
+    return 2.0f;
+  });
+  auto sub = server.intercube(a, b, InterOp::kSub);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(*server.fetch_dense(*sub), (std::vector<float>{8, 9, 18, 19}));
+  auto mul = server.intercube(a, b, InterOp::kMul);
+  EXPECT_EQ(*server.fetch_dense(*mul), (std::vector<float>{20, 22, 40, 42}));
+  auto div = server.intercube(a, b, InterOp::kDiv);
+  EXPECT_EQ(*server.fetch_dense(*div), (std::vector<float>{5, 5.5, 10, 10.5}));
+}
+
+TEST(Server, IntercubeShapeMismatch) {
+  Server server(1);
+  const std::string a = make_test_cube(server, 2, 2, [](std::size_t, std::size_t) { return 1.0f; });
+  const std::string b = make_test_cube(server, 2, 3, [](std::size_t, std::size_t) { return 1.0f; });
+  EXPECT_FALSE(server.intercube(a, b, InterOp::kAdd).ok());
+}
+
+TEST(Server, SubsetImplicitDim) {
+  Server server(2);
+  const std::string pid = make_test_cube(server, 2, 5, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(r * 10 + k);
+  });
+  auto out = server.subset(pid, "t", 1, 3);
+  ASSERT_TRUE(out.ok());
+  auto schema = server.cubeschema(*out);
+  EXPECT_EQ(schema->implicit_dim.size, 3u);
+  EXPECT_EQ(*server.fetch_dense(*out), (std::vector<float>{1, 2, 3, 11, 12, 13}));
+}
+
+TEST(Server, SubsetExplicitDim) {
+  Server server(2);
+  const std::string pid = make_test_cube(server, 4, 2, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(r * 10 + k);
+  });
+  auto out = server.subset(pid, "row", 1, 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*server.fetch_dense(*out), (std::vector<float>{10, 11, 20, 21}));
+  EXPECT_FALSE(server.subset(pid, "row", 2, 9).ok());   // out of range
+  EXPECT_FALSE(server.subset(pid, "nope", 0, 1).ok());  // unknown dim
+}
+
+TEST(Server, MergeAlongFirstDim) {
+  Server server(2);
+  const std::string a = make_test_cube(server, 2, 2, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(r * 10 + k);
+  });
+  const std::string b = make_test_cube(server, 3, 2, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(100 + r * 10 + k);
+  });
+  auto out = server.merge(a, b);
+  ASSERT_TRUE(out.ok());
+  auto schema = server.cubeschema(*out);
+  EXPECT_EQ(schema->explicit_dims[0].size, 5u);
+  auto dense = server.fetch_dense(*out);
+  EXPECT_EQ(dense->size(), 10u);
+  EXPECT_FLOAT_EQ((*dense)[4], 100.0f);
+}
+
+TEST(Server, CatalogLifecycle) {
+  Server server(1);
+  const std::string pid = make_test_cube(server, 2, 2, [](std::size_t, std::size_t) {
+    return 1.0f;
+  });
+  EXPECT_EQ(server.list_cubes().size(), 1u);
+  EXPECT_GT(server.resident_bytes(), 0u);
+  ASSERT_TRUE(server.set_metadata(pid, "author", "test").ok());
+  auto meta = server.metadata(pid);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->at("author"), "test");
+  ASSERT_TRUE(server.delete_cube(pid).ok());
+  EXPECT_FALSE(server.delete_cube(pid).ok());
+  EXPECT_EQ(server.list_cubes().size(), 0u);
+  EXPECT_FALSE(server.cubeschema(pid).ok());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cubes_created, 1u);
+  EXPECT_EQ(stats.cubes_deleted, 1u);
+}
+
+TEST(Server, ImportExportRoundTrip) {
+  const std::string dir = fs::temp_directory_path().string();
+  const std::string path = dir + "/dc_roundtrip.nc";
+  Server server(2);
+  // Build a cube, export, import, compare.
+  std::vector<float> dense(4 * 6);
+  for (std::size_t i = 0; i < dense.size(); ++i) dense[i] = static_cast<float>(i) * 0.5f;
+  auto pid = server.create_cube("tas", {{"cell", 4, {0, 1, 2, 3}}}, {"day", 6, {}}, dense, "x");
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(server.exportnc(*pid, path).ok());
+
+  auto imported = server.importnc(path, "tas");
+  ASSERT_TRUE(imported.ok());
+  auto roundtrip = server.fetch_dense(*imported);
+  ASSERT_TRUE(roundtrip.ok());
+  EXPECT_EQ(*roundtrip, dense);
+  auto schema = server.cubeschema(*imported);
+  EXPECT_EQ(schema->explicit_dims[0].name, "cell");
+  EXPECT_EQ(schema->implicit_dim.name, "day");
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.disk_writes, 1u);
+  EXPECT_EQ(stats.disk_reads, 1u);
+  fs::remove(path);
+}
+
+TEST(Server, ImportMissingFileOrVariableFails) {
+  Server server(1);
+  EXPECT_FALSE(server.importnc("/nonexistent/file.nc", "v").ok());
+}
+
+TEST(Server, ScalingIoServersPreservesResults) {
+  std::vector<float> reference;
+  for (std::size_t servers : {1u, 2u, 4u, 8u}) {
+    Server server(servers);
+    const std::string pid = make_test_cube(server, 16, 8, [](std::size_t r, std::size_t k) {
+      return static_cast<float>((r * 7 + k * 3) % 13);
+    });
+    auto reduced = server.reduce(pid, ReduceOp::kSum);
+    ASSERT_TRUE(reduced.ok());
+    auto dense = server.fetch_dense(*reduced);
+    ASSERT_TRUE(dense.ok());
+    if (reference.empty()) {
+      reference = *dense;
+    } else {
+      EXPECT_EQ(*dense, reference) << "with " << servers << " io servers";
+    }
+  }
+}
+
+TEST(Server, DynamicRescaleKeepsCatalog) {
+  Server server(1);
+  const std::string pid = make_test_cube(server, 4, 4, [](std::size_t, std::size_t) {
+    return 2.0f;
+  });
+  server.set_io_servers(4);
+  EXPECT_EQ(server.io_servers(), 4u);
+  auto out = server.reduce(pid, ReduceOp::kSum);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ((*server.fetch_dense(*out))[0], 8.0f);
+}
+
+TEST(Client, Listing1Shape) {
+  // The exact operator sequence of the paper's Listing 1 on a synthetic
+  // duration cube.
+  Server server(2);
+  Client client(server);
+  // duration cube: row 0 has waves of length 6 and 8; row 1 none.
+  std::vector<float> duration = {0, 0, 0, 0, 0, 6, 0, 8, 0, 0,
+                                 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  auto cube = client.create_cube("duration", {{"cell", 2, {}}}, {"day", 10, {}}, duration);
+  ASSERT_TRUE(cube.ok());
+
+  auto max_cube = cube->reduce("max", 0, "Max Duration cube");
+  ASSERT_TRUE(max_cube.ok());
+  EXPECT_EQ(*max_cube->values(), (std::vector<float>{8, 0}));
+
+  auto mask = cube->apply("oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0')");
+  ASSERT_TRUE(mask.ok());
+  auto count = mask->reduce("sum", 0, "Number of durations cube");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count->values(), (std::vector<float>{2, 0}));
+  ASSERT_TRUE(mask->del().ok());
+
+  const std::string dir = fs::temp_directory_path().string();
+  ASSERT_TRUE(count->exportnc2(dir, "listing1_count").ok());
+  EXPECT_TRUE(fs::exists(dir + "/listing1_count.nc"));
+  fs::remove(dir + "/listing1_count.nc");
+}
+
+TEST(Client, InvalidCubeOperations) {
+  Cube cube;  // default: invalid
+  EXPECT_FALSE(cube.reduce("max").ok());
+  EXPECT_FALSE(cube.apply("x").ok());
+  EXPECT_FALSE(cube.values().ok());
+  Server server(1);
+  Client client(server);
+  Cube attached = client.attach("oph://local/datacube/999");
+  EXPECT_FALSE(attached.reduce("max").ok());  // unknown pid at server
+}
+
+TEST(Client, ParseOpNames) {
+  EXPECT_TRUE(parse_reduce_op("max").ok());
+  EXPECT_TRUE(parse_reduce_op("mean").ok());
+  EXPECT_FALSE(parse_reduce_op("median").ok());
+  EXPECT_TRUE(parse_inter_op("sub").ok());
+  EXPECT_FALSE(parse_inter_op("xor").ok());
+}
+
+// Operator algebra properties over random cubes.
+class DatacubeProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DatacubeProperty, ReduceSumEqualsApplySumViaRunningSum) {
+  const std::size_t io_servers = GetParam();
+  Server server(io_servers);
+  common::Rng rng(100 + io_servers);
+  std::vector<float> dense(12 * 20);
+  for (auto& v : dense) v = static_cast<float>(rng.uniform(-5, 5));
+  auto pid = server.create_cube("m", {{"row", 12, {}}}, {"t", 20, {}}, dense, "");
+  ASSERT_TRUE(pid.ok());
+
+  auto reduced = server.reduce(*pid, ReduceOp::kSum);
+  ASSERT_TRUE(reduced.ok());
+  // running_sum's last element equals the total: subset the last index.
+  auto scanned = server.apply(*pid, "running_sum(x)");
+  ASSERT_TRUE(scanned.ok());
+  auto last = server.subset(*scanned, "t", 19, 19);
+  ASSERT_TRUE(last.ok());
+  const auto a = *server.fetch_dense(*reduced);
+  const auto b = *server.fetch_dense(*last);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-3);
+}
+
+TEST_P(DatacubeProperty, MaxMinusMinNonNegative) {
+  Server server(GetParam());
+  common::Rng rng(7);
+  std::vector<float> dense(8 * 16);
+  for (auto& v : dense) v = static_cast<float>(rng.normal(0, 3));
+  auto pid = server.create_cube("m", {{"row", 8, {}}}, {"t", 16, {}}, dense, "");
+  auto mx = server.reduce(*pid, ReduceOp::kMax);
+  auto mn = server.reduce(*pid, ReduceOp::kMin);
+  auto diff = server.intercube(*mx, *mn, InterOp::kSub);
+  ASSERT_TRUE(diff.ok());
+  const std::vector<float> values = *server.fetch_dense(*diff);
+  for (float v : values) EXPECT_GE(v, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(IoServers, DatacubeProperty, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace climate::datacube
+
+namespace climate::datacube {
+namespace {
+
+TEST(Server, ConcatImplicitJoinsSegments) {
+  Server server(2);
+  const std::string jan = make_test_cube(server, 3, 4, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(r * 100 + k);
+  });
+  const std::string feb = make_test_cube(server, 3, 2, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(r * 100 + 50 + k);
+  });
+  auto out = server.concat_implicit(jan, feb);
+  ASSERT_TRUE(out.ok());
+  auto schema = server.cubeschema(*out);
+  EXPECT_EQ(schema->implicit_dim.size, 6u);
+  const auto dense = *server.fetch_dense(*out);
+  // Row 1: {100,101,102,103} ++ {150,151}.
+  EXPECT_FLOAT_EQ(dense[6 + 0], 100.0f);
+  EXPECT_FLOAT_EQ(dense[6 + 3], 103.0f);
+  EXPECT_FLOAT_EQ(dense[6 + 4], 150.0f);
+  EXPECT_FLOAT_EQ(dense[6 + 5], 151.0f);
+}
+
+TEST(Server, ConcatImplicitRejectsRowMismatch) {
+  Server server(1);
+  const std::string a = make_test_cube(server, 3, 4, [](std::size_t, std::size_t) { return 0.0f; });
+  const std::string b = make_test_cube(server, 2, 4, [](std::size_t, std::size_t) { return 0.0f; });
+  EXPECT_FALSE(server.concat_implicit(a, b).ok());
+}
+
+TEST(Server, ConcatImplicitEqualsSingleImport) {
+  // Assembling a "year" from two halves equals building it at once.
+  Server server(2);
+  std::vector<float> full(5 * 10);
+  for (std::size_t i = 0; i < full.size(); ++i) full[i] = static_cast<float>(i * 3 % 17);
+  std::vector<float> first, second;
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t k = 0; k < 6; ++k) first.push_back(full[r * 10 + k]);
+    for (std::size_t k = 6; k < 10; ++k) second.push_back(full[r * 10 + k]);
+  }
+  auto whole = server.create_cube("m", {{"row", 5, {}}}, {"t", 10, {}}, full, "");
+  auto a = server.create_cube("m", {{"row", 5, {}}}, {"t", 6, {}}, first, "");
+  auto b = server.create_cube("m", {{"row", 5, {}}}, {"t", 4, {}}, second, "");
+  auto joined = server.concat_implicit(*a, *b);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*server.fetch_dense(*joined), *server.fetch_dense(*whole));
+}
+
+TEST(Server, AggregateCollapsesExplicitDim) {
+  Server server(2);
+  // 2x3 explicit grid, arrays of length 2: value = (a*10 + b) at position k.
+  std::vector<float> dense;
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      dense.push_back(static_cast<float>(a * 10 + b));        // k = 0
+      dense.push_back(static_cast<float>(a * 10 + b) + 0.5f); // k = 1
+    }
+  }
+  auto pid = server.create_cube("m", {{"a", 2, {}}, {"b", 3, {}}}, {"t", 2, {}}, dense, "");
+  ASSERT_TRUE(pid.ok());
+
+  // Collapse 'a' (outer): sum over a for each (b, k).
+  auto over_a = server.aggregate(*pid, "a", ReduceOp::kSum);
+  ASSERT_TRUE(over_a.ok());
+  auto schema = server.cubeschema(*over_a);
+  ASSERT_EQ(schema->explicit_dims.size(), 1u);
+  EXPECT_EQ(schema->explicit_dims[0].name, "b");
+  const auto sums = *server.fetch_dense(*over_a);
+  ASSERT_EQ(sums.size(), 3u * 2u);
+  EXPECT_FLOAT_EQ(sums[0], 0.0f + 10.0f);      // b=0, k=0
+  EXPECT_FLOAT_EQ(sums[1], 0.5f + 10.5f);      // b=0, k=1
+  EXPECT_FLOAT_EQ(sums[4], 2.0f + 12.0f);      // b=2, k=0
+
+  // Collapse 'b' (inner) with avg.
+  auto over_b = server.aggregate(*pid, "b", ReduceOp::kAvg);
+  ASSERT_TRUE(over_b.ok());
+  const auto avgs = *server.fetch_dense(*over_b);
+  ASSERT_EQ(avgs.size(), 2u * 2u);
+  EXPECT_FLOAT_EQ(avgs[0], (0.0f + 1.0f + 2.0f) / 3.0f);   // a=0, k=0
+  EXPECT_FLOAT_EQ(avgs[3], (10.5f + 11.5f + 12.5f) / 3.0f); // a=1, k=1
+}
+
+TEST(Server, AggregateToScalarDim) {
+  Server server(1);
+  const std::string pid = make_test_cube(server, 4, 3, [](std::size_t r, std::size_t k) {
+    return static_cast<float>(r + k);
+  });
+  auto out = server.aggregate(pid, "row", ReduceOp::kMax);
+  ASSERT_TRUE(out.ok());
+  auto schema = server.cubeschema(*out);
+  EXPECT_EQ(schema->explicit_dims[0].name, "scalar");
+  const auto values = *server.fetch_dense(*out);
+  EXPECT_EQ(values, (std::vector<float>{3, 4, 5}));  // max over rows per k
+}
+
+TEST(Server, AggregateUnknownDimFails) {
+  Server server(1);
+  const std::string pid = make_test_cube(server, 2, 2, [](std::size_t, std::size_t) { return 1.0f; });
+  EXPECT_FALSE(server.aggregate(pid, "nope", ReduceOp::kSum).ok());
+  EXPECT_FALSE(server.aggregate(pid, "t", ReduceOp::kSum).ok());  // implicit dim is not explicit
+}
+
+}  // namespace
+}  // namespace climate::datacube
+
+namespace climate::datacube {
+namespace {
+
+TEST(Client, ConcatAndAggregateWrappers) {
+  Server server(2);
+  Client client(server);
+  auto a = client.create_cube("m", {{"row", 2, {}}}, {"t", 2, {}}, {1, 2, 3, 4});
+  auto b = client.create_cube("m", {{"row", 2, {}}}, {"t", 1, {}}, {9, 9});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto joined = a->concat(*b, "year assembly");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined->values(), (std::vector<float>{1, 2, 9, 3, 4, 9}));
+
+  auto collapsed = joined->aggregate("row", "sum");
+  ASSERT_TRUE(collapsed.ok());
+  EXPECT_EQ(*collapsed->values(), (std::vector<float>{4, 6, 18}));
+  EXPECT_FALSE(joined->aggregate("row", "nonsense").ok());
+  Cube invalid;
+  EXPECT_FALSE(invalid.concat(*b).ok());
+  EXPECT_FALSE(invalid.aggregate("row", "sum").ok());
+}
+
+}  // namespace
+}  // namespace climate::datacube
+
+namespace climate::datacube {
+namespace {
+
+using common::Json;
+
+TEST(Dispatch, OperatorRequestsRoundTrip) {
+  Server server(2);
+  // Create a cube by hand, then drive everything through the wire format.
+  auto pid = server.create_cube("m", {{"row", 2, {}}}, {"t", 4, {}},
+                                {1, 2, 3, 4, 5, 6, 7, 8}, "");
+  ASSERT_TRUE(pid.ok());
+
+  Json reduce_req = Json::object();
+  reduce_req["operator"] = "reduce";
+  reduce_req["cube"] = *pid;
+  reduce_req["operation"] = "sum";
+  auto reduced = server.execute(reduce_req);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().to_string();
+  EXPECT_EQ(reduced->get_string("status"), "OK");
+  const std::string sum_pid = reduced->get_string("cube");
+  EXPECT_EQ(*server.fetch_dense(sum_pid), (std::vector<float>{10, 26}));
+
+  Json apply_req = Json::object();
+  apply_req["operator"] = "apply";
+  apply_req["cube"] = *pid;
+  apply_req["query"] = "predicate(x, '>4', 1, 0)";
+  auto mask = server.execute(apply_req);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*server.fetch_dense(mask->get_string("cube")),
+            (std::vector<float>{0, 0, 0, 0, 1, 1, 1, 1}));
+
+  Json schema_req = Json::object();
+  schema_req["operator"] = "cubeschema";
+  schema_req["cube"] = *pid;
+  auto schema = server.execute(schema_req);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->get_string("measure"), "m");
+  EXPECT_EQ((*schema)["implicit_dim"].get_int("size"), 4);
+
+  Json list_req = Json::object();
+  list_req["operator"] = "list";
+  auto listing = server.execute(list_req);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ((*listing)["cubes"].size(), 3u);
+
+  Json delete_req = Json::object();
+  delete_req["operator"] = "delete";
+  delete_req["cube"] = sum_pid;
+  ASSERT_TRUE(server.execute(delete_req).ok());
+  EXPECT_FALSE(server.cubeschema(sum_pid).ok());
+}
+
+TEST(Dispatch, ImportExportViaRequests) {
+  const std::string path = (fs::temp_directory_path() / "dispatch_io.nc").string();
+  Server server(1);
+  auto pid = server.create_cube("tas", {{"cell", 3, {}}}, {"day", 2, {}},
+                                {1, 2, 3, 4, 5, 6}, "");
+  Json export_req = Json::object();
+  export_req["operator"] = "exportnc";
+  export_req["cube"] = *pid;
+  export_req["path"] = path;
+  ASSERT_TRUE(server.execute(export_req).ok());
+
+  Json import_req = Json::object();
+  import_req["operator"] = "importnc";
+  import_req["path"] = path;
+  import_req["measure"] = "tas";
+  auto imported = server.execute(import_req);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(*server.fetch_dense(imported->get_string("cube")),
+            (std::vector<float>{1, 2, 3, 4, 5, 6}));
+  fs::remove(path);
+}
+
+TEST(Dispatch, MetadataViaRequests) {
+  Server server(1);
+  auto pid = server.create_cube("m", {{"row", 1, {}}}, {"t", 1, {}}, {0}, "");
+  Json set_req = Json::object();
+  set_req["operator"] = "metadata";
+  set_req["cube"] = *pid;
+  set_req["key"] = "experiment";
+  set_req["value"] = "ssp585";
+  ASSERT_TRUE(server.execute(set_req).ok());
+  Json get_req = Json::object();
+  get_req["operator"] = "metadata";
+  get_req["cube"] = *pid;
+  auto meta = server.execute(get_req);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ((*meta)["metadata"].get_string("experiment"), "ssp585");
+}
+
+TEST(Dispatch, BadRequestsRejected) {
+  Server server(1);
+  EXPECT_FALSE(server.execute(Json::object()).ok());  // no operator
+  Json unknown = Json::object();
+  unknown["operator"] = "warp_drive";
+  EXPECT_FALSE(server.execute(unknown).ok());
+  Json bad_cube = Json::object();
+  bad_cube["operator"] = "reduce";
+  bad_cube["cube"] = "oph://nope";
+  EXPECT_FALSE(server.execute(bad_cube).ok());
+}
+
+}  // namespace
+}  // namespace climate::datacube

@@ -1,0 +1,475 @@
+// Tests for the coupled model: climatology sanity, forcing I/O, event
+// seeding, physical plausibility of the fields, coupler conservation,
+// daily file round trips, and serial/parallel equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include "esm/climatology.hpp"
+#include "esm/cyclones.hpp"
+#include "esm/diagnostics.hpp"
+#include "esm/ensemble.hpp"
+#include "ncio/ncfile.hpp"
+#include "esm/model.hpp"
+#include "esm/parallel.hpp"
+#include "esm/writer.hpp"
+
+namespace climate::esm {
+namespace {
+
+namespace fs = std::filesystem;
+
+EsmConfig tiny_config() {
+  EsmConfig config;
+  config.nlat = 32;
+  config.nlon = 48;
+  config.days_per_year = 20;
+  config.start_year = 2020;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Climatology, EquatorWarmerThanPoles) {
+  EXPECT_GT(mean_temperature_c(0), mean_temperature_c(60));
+  EXPECT_GT(mean_temperature_c(0), mean_temperature_c(-60));
+  EXPECT_LT(mean_temperature_c(85), 0.0);
+  EXPECT_GT(mean_temperature_c(0), 25.0);
+}
+
+TEST(Climatology, SeasonalCyclePeaksInLocalSummer) {
+  // NH mid-latitude warmest near day 196, coldest half a year away.
+  const double summer = baseline_temperature_c(45, kNorthSummerPeakDay, 365);
+  const double winter = baseline_temperature_c(45, (kNorthSummerPeakDay + 182) % 365, 365);
+  EXPECT_GT(summer, winter + 10.0);
+  // SH is out of phase.
+  const double sh_at_nh_summer = baseline_temperature_c(-45, kNorthSummerPeakDay, 365);
+  const double sh_at_nh_winter = baseline_temperature_c(-45, (kNorthSummerPeakDay + 182) % 365, 365);
+  EXPECT_LT(sh_at_nh_summer, sh_at_nh_winter);
+}
+
+TEST(Climatology, DiurnalCycleHasDailyAmplitude) {
+  double lo = 1e9, hi = -1e9;
+  for (int s = 0; s < 4; ++s) {
+    const double v = diurnal_cycle_c(s, 4);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 3.0);
+}
+
+TEST(Climatology, SstNeverBelowFreezing) {
+  for (double lat = -89; lat <= 89; lat += 7) {
+    for (int doy = 0; doy < 365; doy += 30) {
+      EXPECT_GE(baseline_sst_c(lat, doy, 365), -1.8);
+    }
+  }
+  EXPECT_GT(baseline_sst_c(0, 0, 365), 26.0);  // warm tropics
+}
+
+TEST(Climatology, PrecipItczPeakIsTropical) {
+  double best_lat = 0, best = -1;
+  for (double lat = -60; lat <= 60; lat += 1) {
+    const double p = baseline_precip_mmday(lat, 180, 365);
+    if (p > best) {
+      best = p;
+      best_lat = lat;
+    }
+  }
+  EXPECT_LT(std::fabs(best_lat), 20.0);
+}
+
+TEST(Forcing, ScenariosOrdered) {
+  const int start = 2015, years = 40;
+  auto historical = ForcingTable::from_scenario(Scenario::kHistorical, start, years);
+  auto ssp245 = ForcingTable::from_scenario(Scenario::kSsp245, start, years);
+  auto ssp585 = ForcingTable::from_scenario(Scenario::kSsp585, start, years);
+  EXPECT_LT(historical.co2_ppm(2050), ssp245.co2_ppm(2050));
+  EXPECT_LT(ssp245.co2_ppm(2050), ssp585.co2_ppm(2050));
+  // Monotone growth.
+  for (int y = start + 1; y < start + years; ++y) {
+    EXPECT_GT(ssp585.co2_ppm(y), ssp585.co2_ppm(y - 1));
+  }
+}
+
+TEST(Forcing, WarmingPositiveAndIncreasing) {
+  auto table = ForcingTable::from_scenario(Scenario::kSsp585, 2015, 50);
+  EXPECT_GT(table.warming_c(2015, 3.0), 0.0);
+  EXPECT_GT(table.warming_c(2060, 3.0), table.warming_c(2020, 3.0));
+}
+
+TEST(Forcing, SaveLoadRoundTrip) {
+  const std::string path = (fs::temp_directory_path() / "forcing_test.nc").string();
+  auto table = ForcingTable::from_scenario(Scenario::kSsp245, 2015, 10);
+  ASSERT_TRUE(table.save(path).ok());
+  auto loaded = ForcingTable::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->start_year(), 2015);
+  EXPECT_EQ(loaded->years(), 10u);
+  for (int y = 2015; y < 2025; ++y) {
+    EXPECT_DOUBLE_EQ(loaded->co2_ppm(y), table.co2_ppm(y));
+  }
+  fs::remove(path);
+}
+
+TEST(HashRandom, DeterministicAndWellDistributed) {
+  EXPECT_EQ(hash_uniform(1, 2, 3, 4), hash_uniform(1, 2, 3, 4));
+  EXPECT_NE(hash_uniform(1, 2, 3, 4), hash_uniform(1, 2, 3, 5));
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) sum += hash_uniform(42, 7, static_cast<std::uint64_t>(i), 0);
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(HashRandom, PoissonMeanApproximatelyCorrect) {
+  double total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    total += hash_poisson(0.8, 99, 1, static_cast<std::uint64_t>(i), 0);
+  }
+  EXPECT_NEAR(total / 5000.0, 0.8, 0.06);
+}
+
+TEST(Cyclones, SpawnAndTrackStructure) {
+  EsmConfig config = tiny_config();
+  config.days_per_year = 365;
+  config.tc_spawn_per_day = 1.0;
+  CycloneModel model(config);
+  for (int step = 0; step < 365 * config.steps_per_day; ++step) model.step(step);
+  ASSERT_GT(model.truth().size(), 5u);
+  for (const CycloneTruth& tc : model.truth()) {
+    int last_step = -1;
+    for (const CycloneSample& sample : tc.track) {
+      EXPECT_GT(sample.step, last_step);  // strictly increasing time
+      last_step = sample.step;
+      EXPECT_LT(std::fabs(sample.lat), 56.0);
+      EXPECT_GE(sample.lon, 0.0);
+      EXPECT_LT(sample.lon, 360.0);
+      EXPECT_LT(sample.central_psl_hpa, 1008.0);
+      EXPECT_GT(sample.max_wind_ms, 15.0);
+    }
+    // Consecutive samples move a bounded distance.
+    for (std::size_t i = 1; i < tc.track.size(); ++i) {
+      const double km = common::great_circle_km(tc.track[i - 1].lat, tc.track[i - 1].lon,
+                                                tc.track[i].lat, tc.track[i].lon);
+      EXPECT_LT(km, 600.0);  // < 100 km/h at 6-hourly steps
+    }
+  }
+}
+
+TEST(Cyclones, SeasonalityFavorsLocalSummer) {
+  EsmConfig config = tiny_config();
+  config.days_per_year = 365;  // day-of-year arguments below assume real years
+  CycloneModel model(config);
+  EXPECT_GT(model.season_weight(true, 250), 0.9);
+  EXPECT_LT(model.season_weight(true, 68), 0.1);
+  EXPECT_GT(model.season_weight(false, 50), 0.9);
+}
+
+TEST(Cyclones, ImprintShapesAreLocal) {
+  EsmConfig config = tiny_config();
+  CycloneModel model(config);
+  // Force one active cyclone.
+  for (int step = 0; step < 400 && model.active().empty(); ++step) model.step(step);
+  ASSERT_FALSE(model.active().empty());
+  const ActiveCyclone& tc = model.active().front();
+  EXPECT_LT(model.psl_anomaly_hpa(tc.lat, tc.lon), -2.0);
+  EXPECT_NEAR(model.psl_anomaly_hpa(tc.lat, tc.lon + 60.0), 0.0, 1e-6);
+  EXPECT_GT(model.warm_core_c(tc.lat, tc.lon), 0.1);
+  EXPECT_GT(model.precip_mmday(tc.lat, tc.lon), 1.0);
+  // Wind is tangential: at the centre it vanishes, nearby it does not.
+  double du = 0, dv = 0;
+  model.wind_anomaly_ms(tc.lat + 1.5, tc.lon, &du, &dv);
+  EXPECT_GT(std::sqrt(du * du + dv * dv), 3.0);
+}
+
+TEST(Model, DailyFieldsPhysicallyPlausible) {
+  EsmConfig config = tiny_config();
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel model(config, forcing);
+  DailyFields day = model.run_day();
+  ASSERT_EQ(day.psl.size(), 4u);
+  EXPECT_EQ(day.year, 2020);
+  EXPECT_EQ(day.day_of_year, 0);
+  for (std::size_t i = 0; i < config.nlat; ++i) {
+    for (std::size_t j = 0; j < config.nlon; ++j) {
+      EXPECT_GE(day.tasmax.at(i, j), day.tasmin.at(i, j));
+      EXPECT_GE(day.tas.at(i, j), day.tasmin.at(i, j) - 1e-3);
+      EXPECT_LE(day.tas.at(i, j), day.tasmax.at(i, j) + 1e-3);
+      EXPECT_GT(day.tas.at(i, j), -90.0f);
+      EXPECT_LT(day.tas.at(i, j), 65.0f);
+      EXPECT_GT(day.psl[0].at(i, j), 850.0f);
+      EXPECT_LT(day.psl[0].at(i, j), 1080.0f);
+      EXPECT_GE(day.pr.at(i, j), 0.0f);
+      EXPECT_GE(day.sic.at(i, j), 0.0f);
+      EXPECT_LE(day.sic.at(i, j), 1.0f);
+      EXPECT_GE(day.sst.at(i, j), -1.81f);
+      EXPECT_GE(day.rh.at(i, j), 0.0f);
+      EXPECT_LE(day.rh.at(i, j), 1.0f);
+    }
+  }
+  // Tropics warmer than poles on average.
+  const std::size_t eq = config.nlat / 2;
+  EXPECT_GT(day.tas.at(eq, 0), day.tas.at(config.nlat - 1, 0));
+}
+
+TEST(Model, GhgWarmingRaisesTemperatures) {
+  EsmConfig config = tiny_config();
+  config.days_per_year = 10;
+  ForcingTable low = ForcingTable::from_scenario(Scenario::kHistorical, config.start_year, 2);
+  // A much higher CO2 world, same weather noise.
+  EsmConfig hot_config = config;
+  hot_config.start_year = 2090;
+  ForcingTable high = ForcingTable::from_scenario(Scenario::kSsp585, 2015, 100);
+
+  EsmModel cold_model(config, low);
+  EsmModel hot_model(hot_config, high);
+  const DailyFields cold = cold_model.run_day();
+  const DailyFields hot = hot_model.run_day();
+  // Same doy (0), same seed -> same noise; GHG offset dominates the diff of
+  // global means.
+  EXPECT_GT(hot.tas.mean(), cold.tas.mean() + 0.5);
+}
+
+TEST(Model, EventLogPopulated) {
+  EsmConfig config = tiny_config();
+  config.days_per_year = 60;
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel model(config, forcing);
+  for (int d = 0; d < 60; ++d) model.run_day();
+  EXPECT_GT(model.events().thermal_events.size(), 10u);
+  EXPECT_GT(model.events().heat_wave_count(), 0u);
+  EXPECT_GT(model.events().cold_wave_count(), 0u);
+}
+
+TEST(Model, CouplerConservesExchanges) {
+  EsmConfig config = tiny_config();
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel model(config, forcing);
+  for (int d = 0; d < 5; ++d) model.run_day();
+  const CouplerDiagnostics& coupler = model.coupler();
+  EXPECT_EQ(coupler.exchanges, 20u);  // 5 days x 4 steps, coupling every step
+  EXPECT_DOUBLE_EQ(coupler.heat_sent_atm, coupler.heat_received_ocean);
+  EXPECT_DOUBLE_EQ(coupler.momentum_sent_atm, coupler.momentum_received_ocean);
+  EXPECT_DOUBLE_EQ(coupler.freshwater_sent_atm, coupler.freshwater_received_ocean);
+  EXPECT_GT(coupler.momentum_sent_atm, 0.0);
+  EXPECT_GT(coupler.freshwater_sent_atm, 0.0);
+}
+
+TEST(Writer, DailyFileRoundTrip) {
+  const std::string dir = (fs::temp_directory_path() / "esm_writer_test").string();
+  fs::create_directories(dir);
+  EsmConfig config = tiny_config();
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel model(config, forcing);
+  DailyFields day = model.run_day();
+  const common::LatLonGrid grid(config.nlat, config.nlon);
+  const std::string path = daily_filename(dir, day.year, day.day_of_year);
+  auto bytes = write_daily_file(path, day, grid);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(fs::file_size(path), *bytes);
+
+  int year = 0, doy = -1;
+  ASSERT_TRUE(parse_daily_filename(path, &year, &doy));
+  EXPECT_EQ(year, 2020);
+  EXPECT_EQ(doy, 0);
+  EXPECT_FALSE(parse_daily_filename(dir + "/random.nc", &year, &doy));
+
+  auto tasmax = read_daily_field(path, "tasmax");
+  ASSERT_TRUE(tasmax.ok());
+  EXPECT_EQ(tasmax->nlat(), config.nlat);
+  for (std::size_t c = 0; c < tasmax->size(); ++c) {
+    EXPECT_FLOAT_EQ((*tasmax)[c], day.tasmax[c]);
+  }
+  auto psl = read_daily_steps(path, "psl");
+  ASSERT_TRUE(psl.ok());
+  ASSERT_EQ(psl->size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t c = 0; c < (*psl)[s].size(); ++c) {
+      EXPECT_FLOAT_EQ((*psl)[s][c], day.psl[s][c]);
+    }
+  }
+  // All 20 documented variables present.
+  auto reader = climate::ncio::FileReader::open(path);
+  ASSERT_TRUE(reader.ok());
+  for (const std::string& name : daily_variable_names()) {
+    ASSERT_TRUE(reader->var_info(name).ok()) << name;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Parallel, MatchesSerialBitForBit) {
+  EsmConfig config = tiny_config();
+  config.days_per_year = 4;
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+
+  // Serial reference.
+  EsmModel serial(config, forcing);
+  std::vector<DailyFields> serial_days;
+  for (int d = 0; d < 4; ++d) serial_days.push_back(serial.run_day());
+
+  for (int ranks : {2, 3}) {
+    ParallelEsmDriver driver(config, forcing, ranks);
+    std::vector<DailyFields> parallel_days;
+    driver.run(4, [&](const DailyFields& day) { parallel_days.push_back(day); });
+    ASSERT_EQ(parallel_days.size(), 4u);
+    for (int d = 0; d < 4; ++d) {
+      const DailyFields& a = serial_days[static_cast<std::size_t>(d)];
+      const DailyFields& b = parallel_days[static_cast<std::size_t>(d)];
+      ASSERT_EQ(a.tas.size(), b.tas.size());
+      for (std::size_t c = 0; c < a.tas.size(); ++c) {
+        ASSERT_EQ(a.tas[c], b.tas[c]) << "ranks=" << ranks << " day=" << d << " cell=" << c;
+        ASSERT_EQ(a.tasmax[c], b.tasmax[c]);
+        ASSERT_EQ(a.sst[c], b.sst[c]);
+      }
+      for (std::size_t s = 0; s < a.psl.size(); ++s) {
+        for (std::size_t c = 0; c < a.psl[s].size(); ++c) {
+          ASSERT_EQ(a.psl[s][c], b.psl[s][c]);
+          ASSERT_EQ(a.vort850[s][c], b.vort850[s][c]);
+        }
+      }
+    }
+    // Coupler integrals agree with the serial run.
+    EXPECT_NEAR(driver.coupler().heat_sent_atm, serial.coupler().heat_sent_atm, 1e-6);
+    // Ground truth identical.
+    EXPECT_EQ(driver.events().thermal_events.size(), serial.events().thermal_events.size());
+  }
+}
+
+TEST(Model, DeterministicAcrossRuns) {
+  EsmConfig config = tiny_config();
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel a(config, forcing);
+  EsmModel b(config, forcing);
+  const DailyFields da = a.run_day();
+  const DailyFields db = b.run_day();
+  for (std::size_t c = 0; c < da.tas.size(); ++c) ASSERT_EQ(da.tas[c], db.tas[c]);
+}
+
+TEST(Model, SeedChangesWeather) {
+  EsmConfig config = tiny_config();
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel a(config, forcing);
+  config.seed = 8;
+  EsmModel b(config, forcing);
+  const DailyFields da = a.run_day();
+  const DailyFields db = b.run_day();
+  std::size_t differing = 0;
+  for (std::size_t c = 0; c < da.tas.size(); ++c) {
+    if (da.tas[c] != db.tas[c]) ++differing;
+  }
+  EXPECT_GT(differing, da.tas.size() / 2);
+}
+
+}  // namespace
+}  // namespace climate::esm
+
+namespace climate::esm {
+namespace {
+
+TEST(Diagnostics, RowsTrackGlobalIndicators) {
+  EsmConfig config = tiny_config();
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel model(config, forcing);
+  const common::LatLonGrid grid(config.nlat, config.nlon);
+  DiagnosticsRecorder recorder;
+  for (int d = 0; d < 5; ++d) {
+    const DailyFields day = model.run_day();
+    const DailyDiagnostics& row = recorder.record(day, grid);
+    EXPECT_EQ(row.day_of_run, d);
+    EXPECT_GT(row.global_mean_tas_c, -30.0);
+    EXPECT_LT(row.global_mean_tas_c, 40.0);
+    EXPECT_GT(row.global_mean_pr_mmday, 0.0);
+    EXPECT_LT(row.min_psl_hpa, 1013.0);
+    EXPECT_GT(row.max_wspd_ms, 0.0);
+    EXPECT_GE(row.ice_area_fraction, 0.0);
+    EXPECT_LE(row.ice_area_fraction, 1.0);
+    EXPECT_GT(row.max_tas_anomaly_c, 0.0);
+  }
+  EXPECT_EQ(recorder.rows().size(), 5u);
+}
+
+TEST(Diagnostics, SaveLoadRoundTrip) {
+  const std::string path = (fs::temp_directory_path() / "diag_test.nc").string();
+  EsmConfig config = tiny_config();
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel model(config, forcing);
+  const common::LatLonGrid grid(config.nlat, config.nlon);
+  DiagnosticsRecorder recorder;
+  for (int d = 0; d < 4; ++d) recorder.record(model.run_day(), grid);
+  ASSERT_TRUE(recorder.save(path).ok());
+  auto rows = DiagnosticsRecorder::load(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ((*rows)[i].global_mean_tas_c, recorder.rows()[i].global_mean_tas_c);
+    EXPECT_DOUBLE_EQ((*rows)[i].min_psl_hpa, recorder.rows()[i].min_psl_hpa);
+    EXPECT_DOUBLE_EQ((*rows)[i].max_wspd_ms, recorder.rows()[i].max_wspd_ms);
+  }
+  fs::remove(path);
+}
+
+TEST(Diagnostics, TropicalCycloneLeavesSignature) {
+  // A day with an active strong TC has a deeper min psl than a TC-free day.
+  EsmConfig config = tiny_config();
+  config.days_per_year = 365;
+  config.tc_spawn_per_day = 2.0;
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EsmModel model(config, forcing);
+  const common::LatLonGrid grid(config.nlat, config.nlon);
+  DiagnosticsRecorder recorder;
+  for (int d = 0; d < 40; ++d) recorder.record(model.run_day(), grid);
+  double deepest = 1e9;
+  for (const auto& row : recorder.rows()) deepest = std::min(deepest, row.min_psl_hpa);
+  EXPECT_LT(deepest, 1000.0);  // at least one strong low appeared
+}
+
+}  // namespace
+}  // namespace climate::esm
+
+namespace climate::esm {
+namespace {
+
+TEST(Ensemble, MembersDecorrelateAndStatisticsBehave) {
+  EsmConfig config = tiny_config();
+  config.days_per_year = 365;
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EnsembleDriver driver(config, forcing, 4);
+  EXPECT_EQ(driver.member_seed(0), config.seed);
+  EXPECT_NE(driver.member_seed(1), driver.member_seed(2));
+
+  int observed_members = 0;
+  std::set<int> seen;
+  const auto stats = driver.run(3, [&](int member, const DailyFields& day) {
+    seen.insert(member);
+    observed_members = static_cast<int>(seen.size());
+    EXPECT_GE(day.day_of_run, 0);
+  });
+  EXPECT_EQ(observed_members, 4);
+  ASSERT_EQ(stats.size(), 3u);
+  for (const EnsembleDay& day : stats) {
+    // Spread is positive somewhere (weather decorrelated) but bounded.
+    EXPECT_GT(day.spread.max(), 0.05f);
+    EXPECT_LT(day.spread.max(), 15.0f);
+    // Ensemble mean stays physical.
+    EXPECT_GT(day.mean.mean(), -30.0);
+    EXPECT_LT(day.mean.mean(), 40.0);
+  }
+}
+
+TEST(Ensemble, SingleMemberHasZeroSpreadAndEqualsModel) {
+  EsmConfig config = tiny_config();
+  ForcingTable forcing = ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  EnsembleDriver driver(config, forcing, 1);
+  const auto stats = driver.run(2);
+  EsmModel reference(config, forcing);
+  for (const EnsembleDay& day : stats) {
+    const DailyFields fields = reference.run_day();
+    EXPECT_FLOAT_EQ(day.spread.max(), 0.0f);
+    for (std::size_t c = 0; c < fields.tas.size(); ++c) {
+      ASSERT_FLOAT_EQ(day.mean[c], fields.tas[c]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace climate::esm

@@ -1,0 +1,209 @@
+// Tests for the datacube expression engine (the oph_predicate-style array
+// primitives), including property-style parameterized checks of the
+// wave_duration primitive.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datacube/expression.hpp"
+
+namespace climate::datacube {
+namespace {
+
+std::vector<float> eval(const std::string& text, const std::vector<float>& measure) {
+  auto expr = Expression::parse(text);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status().to_string();
+  return expr->eval(measure);
+}
+
+TEST(Expression, Arithmetic) {
+  EXPECT_EQ(eval("measure * 2 + 1", {1, 2, 3}), (std::vector<float>{3, 5, 7}));
+  EXPECT_EQ(eval("x - 1", {1, 2}), (std::vector<float>{0, 1}));
+  EXPECT_EQ(eval("-x", {1, -2}), (std::vector<float>{-1, 2}));
+  EXPECT_EQ(eval("(x + 1) * (x - 1)", {2, 3}), (std::vector<float>{3, 8}));
+  EXPECT_EQ(eval("10 / x", {2, 5}), (std::vector<float>{5, 2}));
+}
+
+TEST(Expression, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(eval("1 / x", {0}), (std::vector<float>{0}));
+}
+
+TEST(Expression, Comparisons) {
+  EXPECT_EQ(eval("x > 2", {1, 2, 3}), (std::vector<float>{0, 0, 1}));
+  EXPECT_EQ(eval("x >= 2", {1, 2, 3}), (std::vector<float>{0, 1, 1}));
+  EXPECT_EQ(eval("x < 2", {1, 2, 3}), (std::vector<float>{1, 0, 0}));
+  EXPECT_EQ(eval("x <= 2", {1, 2, 3}), (std::vector<float>{1, 1, 0}));
+  EXPECT_EQ(eval("x == 2", {1, 2, 3}), (std::vector<float>{0, 1, 0}));
+  EXPECT_EQ(eval("x != 2", {1, 2, 3}), (std::vector<float>{1, 0, 1}));
+}
+
+TEST(Expression, Functions) {
+  EXPECT_EQ(eval("abs(x)", {-3, 4}), (std::vector<float>{3, 4}));
+  EXPECT_EQ(eval("max(x, 2)", {1, 3}), (std::vector<float>{2, 3}));
+  EXPECT_EQ(eval("min(x, 2)", {1, 3}), (std::vector<float>{1, 2}));
+  EXPECT_EQ(eval("pow(x, 2)", {2, 3}), (std::vector<float>{4, 9}));
+  EXPECT_EQ(eval("sqrt(x)", {4, 9}), (std::vector<float>{2, 3}));
+  EXPECT_EQ(eval("sqrt(x)", {-1}), (std::vector<float>{0}));  // clamped
+}
+
+TEST(Expression, PredicateShortForm) {
+  EXPECT_EQ(eval("predicate(x, '>0', 1, 0)", {-1, 0, 2}), (std::vector<float>{0, 0, 1}));
+  EXPECT_EQ(eval("predicate(x, '<=1', 5, 7)", {0, 1, 2}), (std::vector<float>{5, 5, 7}));
+}
+
+TEST(Expression, PredicateOphidiaLongForm) {
+  // The exact spelling from the paper's Listing 1.
+  const std::string listing1 = "oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0')";
+  EXPECT_EQ(eval(listing1, {-2, 0, 3, 7}), (std::vector<float>{0, 0, 1, 1}));
+}
+
+TEST(Expression, PredicateThenElseExpressions) {
+  EXPECT_EQ(eval("predicate(x, '>0', x * 10, x)", {-1, 2}), (std::vector<float>{-1, 20}));
+}
+
+TEST(Expression, Scans) {
+  EXPECT_EQ(eval("running_max(x)", {1, 3, 2, 5, 4}), (std::vector<float>{1, 3, 3, 5, 5}));
+  EXPECT_EQ(eval("running_sum(x)", {1, 2, 3}), (std::vector<float>{1, 3, 6}));
+}
+
+TEST(Expression, Shift) {
+  EXPECT_EQ(eval("shift(x, 1)", {1, 2, 3}), (std::vector<float>{0, 1, 2}));
+  EXPECT_EQ(eval("shift(x, -1)", {1, 2, 3}), (std::vector<float>{2, 3, 0}));
+  EXPECT_EQ(eval("shift(x, 0)", {1, 2, 3}), (std::vector<float>{1, 2, 3}));
+}
+
+TEST(Expression, ScalarOnlyExpression) {
+  EXPECT_EQ(eval("2 + 3", {}), (std::vector<float>{5}));
+}
+
+TEST(Expression, ParseErrors) {
+  EXPECT_FALSE(Expression::parse("x +").ok());
+  EXPECT_FALSE(Expression::parse("unknown_fn(x)").ok());
+  EXPECT_FALSE(Expression::parse("(x").ok());
+  EXPECT_FALSE(Expression::parse("x 'oops'").ok());
+  EXPECT_FALSE(Expression::parse("predicate(x)").ok());            // no condition
+  EXPECT_FALSE(Expression::parse("max(x)").ok());                  // arity
+  EXPECT_FALSE(Expression::parse("x @ 2").ok());                   // bad char
+  EXPECT_FALSE(Expression::parse("wave_duration(x)").ok());        // arity
+}
+
+TEST(WaveDuration, BasicRuns) {
+  // Runs of ones: [3] then [2], min_len 2 -> lengths at run ends.
+  EXPECT_EQ(wave_duration({1, 1, 1, 0, 1, 1}, 2), (std::vector<float>{0, 0, 3, 0, 0, 2}));
+  // min_len 4 filters both.
+  EXPECT_EQ(wave_duration({1, 1, 1, 0, 1, 1}, 4), (std::vector<float>(6, 0)));
+}
+
+TEST(WaveDuration, RunAtEndOfSeries) {
+  EXPECT_EQ(wave_duration({0, 1, 1, 1}, 3), (std::vector<float>{0, 0, 0, 3}));
+}
+
+TEST(WaveDuration, AllOnesAndAllZeros) {
+  EXPECT_EQ(wave_duration({1, 1, 1, 1}, 2), (std::vector<float>{0, 0, 0, 4}));
+  EXPECT_EQ(wave_duration({0, 0, 0}, 1), (std::vector<float>{0, 0, 0}));
+  EXPECT_EQ(wave_duration({}, 3), (std::vector<float>{}));
+}
+
+TEST(Expression, WaveDurationViaEngine) {
+  EXPECT_EQ(eval("wave_duration(x, 2)", {1, 1, 0, 1, 1, 1}),
+            (std::vector<float>{0, 2, 0, 0, 0, 3}));
+  // Composition with predicate: threshold first, then run lengths.
+  EXPECT_EQ(eval("wave_duration(predicate(x, '>5', 1, 0), 2)", {6, 7, 3, 9, 9, 9}),
+            (std::vector<float>{0, 2, 0, 0, 0, 3}));
+}
+
+// Property-style sweep: invariants of wave_duration for random binary
+// series and several min_len values.
+class WaveDurationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaveDurationProperty, SumOfDurationsEqualsQualifyingDays) {
+  const int min_len = GetParam();
+  common::Rng rng(1000 + static_cast<std::uint64_t>(min_len));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> binary(120);
+    for (auto& v : binary) v = rng.bernoulli(0.55) ? 1.0f : 0.0f;
+    const std::vector<float> durations = wave_duration(binary, min_len);
+    ASSERT_EQ(durations.size(), binary.size());
+
+    // Reference: scan runs directly.
+    float expected_sum = 0;
+    float expected_max = 0;
+    int expected_count = 0;
+    int run = 0;
+    for (std::size_t i = 0; i <= binary.size(); ++i) {
+      if (i < binary.size() && binary[i] > 0.5f) {
+        ++run;
+      } else {
+        if (run >= min_len) {
+          expected_sum += static_cast<float>(run);
+          expected_max = std::max(expected_max, static_cast<float>(run));
+          ++expected_count;
+        }
+        run = 0;
+      }
+    }
+    float sum = 0, max = 0;
+    int count = 0;
+    for (float d : durations) {
+      sum += d;
+      max = std::max(max, d);
+      if (d > 0) ++count;
+    }
+    EXPECT_EQ(sum, expected_sum);
+    EXPECT_EQ(max, expected_max);
+    EXPECT_EQ(count, expected_count);
+    // Every reported duration is at least min_len.
+    for (float d : durations) {
+      if (d > 0) {
+        EXPECT_GE(d, static_cast<float>(min_len));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MinLengths, WaveDurationProperty, ::testing::Values(1, 2, 3, 6, 10));
+
+// Parameterized check: predicate output is always binary for 1/0 branches.
+class PredicateProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PredicateProperty, OutputIsBinary) {
+  auto expr = Expression::parse(std::string("predicate(x, '") + GetParam() + "', 1, 0)");
+  ASSERT_TRUE(expr.ok());
+  common::Rng rng(9);
+  std::vector<float> measure(64);
+  for (auto& v : measure) v = static_cast<float>(rng.normal(0, 10));
+  for (float v : expr->eval(measure)) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Conditions, PredicateProperty,
+                         ::testing::Values(">0", ">=1", "<0", "<=-1", "==0", "!=0"));
+
+}  // namespace
+}  // namespace climate::datacube
+
+namespace climate::datacube {
+namespace {
+
+TEST(Expression, PredicateBroadcastsArrayBranches) {
+  // then/else arrays select elementwise.
+  EXPECT_EQ(eval("predicate(x, '>0', x * 2, x * -1)", {-2, 3}),
+            (std::vector<float>{2, 6}));
+}
+
+TEST(Expression, NestedFunctionComposition) {
+  EXPECT_EQ(eval("max(abs(x), running_max(x))", {-5, 2, -1}),
+            (std::vector<float>{5, 2, 2}));
+}
+
+TEST(Expression, WhitespaceAndUnaryPlusTolerated) {
+  EXPECT_EQ(eval("  + x   *  2 ", {3}), (std::vector<float>{6}));
+}
+
+TEST(Expression, ChainedComparisonsEvaluateLeftToRight) {
+  // (x > 0) > 0 is the binary mask again.
+  EXPECT_EQ(eval("x > 0 > 0", {-1, 2}), (std::vector<float>{0, 1}));
+}
+
+}  // namespace
+}  // namespace climate::datacube

@@ -1,0 +1,492 @@
+// Tests for the extremes module: baselines, wave indices (reference vs
+// datacube pipeline equivalence), TC detection/tracking, skill scoring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "datacube/client.hpp"
+#include "esm/climatology.hpp"
+#include "esm/forcing.hpp"
+#include "esm/model.hpp"
+#include "extremes/heatwaves.hpp"
+#include "extremes/skill.hpp"
+#include "extremes/tc_tracker.hpp"
+
+namespace climate::extremes {
+namespace {
+
+using common::Field;
+using common::LatLonGrid;
+
+/// Builds daily fields with a constant baseline and a scripted anomaly
+/// series at one cell.
+std::vector<Field> scripted_days(const LatLonGrid& grid, const Baseline& baseline,
+                                 std::size_t ci, std::size_t cj,
+                                 const std::vector<float>& anomalies) {
+  std::vector<Field> days;
+  for (std::size_t d = 0; d < anomalies.size(); ++d) {
+    Field field(grid);
+    for (std::size_t i = 0; i < grid.nlat(); ++i) {
+      for (std::size_t j = 0; j < grid.nlon(); ++j) {
+        field.at(i, j) = baseline.tasmax(i, j, static_cast<int>(d));
+      }
+    }
+    field.at(ci, cj) += anomalies[d];
+    days.push_back(std::move(field));
+  }
+  return days;
+}
+
+TEST(Baseline, AnalyticShapesMatchClimatology) {
+  LatLonGrid grid(16, 24);
+  Baseline baseline = Baseline::analytic(grid, 30, 4);
+  EXPECT_EQ(baseline.days_per_year(), 30);
+  // tasmax exceeds tasmin everywhere (diurnal amplitude).
+  for (int doy = 0; doy < 30; doy += 7) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_GT(baseline.tasmax(i, 0, doy), baseline.tasmin(i, 0, doy));
+    }
+  }
+  // Warming offset shifts both.
+  Baseline warm = Baseline::analytic(grid, 30, 4, 2.0);
+  EXPECT_NEAR(warm.tasmax(4, 0, 3) - baseline.tasmax(4, 0, 3), 2.0, 1e-4);
+}
+
+TEST(Baseline, FromDailyDataAveragesYears) {
+  LatLonGrid grid(4, 4);
+  // Two years of data: year one all 10, year two all 20 -> mean 15.
+  std::vector<Field> tasmax;
+  std::vector<Field> tasmin;
+  for (int y = 0; y < 2; ++y) {
+    for (int d = 0; d < 5; ++d) {
+      tasmax.emplace_back(grid, y == 0 ? 10.0f : 20.0f);
+      tasmin.emplace_back(grid, y == 0 ? 0.0f : 10.0f);
+    }
+  }
+  Baseline baseline = Baseline::from_daily_data(grid, 5, tasmax, tasmin);
+  EXPECT_FLOAT_EQ(baseline.tasmax(0, 0, 0), 15.0f);
+  EXPECT_FLOAT_EQ(baseline.tasmin(2, 3, 4), 5.0f);
+}
+
+TEST(Baseline, RowsByDayTransposeConsistent) {
+  LatLonGrid grid(3, 4);
+  Baseline baseline = Baseline::analytic(grid, 6, 4);
+  const std::vector<float> rows = baseline.tasmax_rows_by_day();
+  ASSERT_EQ(rows.size(), 3u * 4u * 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (int d = 0; d < 6; ++d) {
+        EXPECT_FLOAT_EQ(rows[(i * 4 + j) * 6 + static_cast<std::size_t>(d)],
+                        baseline.tasmax(i, j, d));
+      }
+    }
+  }
+}
+
+TEST(WaveIndices, DetectsScriptedHeatWave) {
+  LatLonGrid grid(8, 8);
+  Baseline baseline = Baseline::analytic(grid, 20, 4);
+  // 7 hot days (wave), 3 cool, 6 hot days (wave), rest cool.
+  std::vector<float> anomalies(20, 0.0f);
+  for (int d = 0; d < 7; ++d) anomalies[static_cast<std::size_t>(d)] = 6.0f;
+  for (int d = 10; d < 16; ++d) anomalies[static_cast<std::size_t>(d)] = 7.0f;
+  const auto days = scripted_days(grid, baseline, 3, 4, anomalies);
+
+  WaveIndices indices = compute_wave_indices(days, baseline, true);
+  EXPECT_FLOAT_EQ(indices.duration_max.at(3, 4), 7.0f);
+  EXPECT_FLOAT_EQ(indices.count.at(3, 4), 2.0f);
+  EXPECT_NEAR(indices.frequency.at(3, 4), 13.0f / 20.0f, 1e-5f);
+  // Other cells untouched.
+  EXPECT_FLOAT_EQ(indices.count.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(indices.duration_max.at(7, 7), 0.0f);
+}
+
+TEST(WaveIndices, ShortSpellsDoNotCount) {
+  LatLonGrid grid(4, 4);
+  Baseline baseline = Baseline::analytic(grid, 15, 4);
+  std::vector<float> anomalies(15, 0.0f);
+  for (int d = 2; d < 7; ++d) anomalies[static_cast<std::size_t>(d)] = 8.0f;  // 5 days < 6
+  const auto days = scripted_days(grid, baseline, 1, 1, anomalies);
+  WaveIndices indices = compute_wave_indices(days, baseline, true);
+  EXPECT_FLOAT_EQ(indices.count.at(1, 1), 0.0f);
+}
+
+TEST(WaveIndices, ThresholdIsFiveDegrees) {
+  LatLonGrid grid(4, 4);
+  Baseline baseline = Baseline::analytic(grid, 12, 4);
+  std::vector<float> below(12, 4.9f);   // never reaches +5
+  std::vector<float> at(12, 5.0f);      // exactly +5 counts (>=)
+  const auto days_below = scripted_days(grid, baseline, 0, 0, below);
+  const auto days_at = scripted_days(grid, baseline, 0, 0, at);
+  EXPECT_FLOAT_EQ(compute_wave_indices(days_below, baseline, true).count.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(compute_wave_indices(days_at, baseline, true).count.at(0, 0), 1.0f);
+}
+
+TEST(WaveIndices, ColdWavesUseMinimumTemperature) {
+  LatLonGrid grid(4, 4);
+  Baseline baseline = Baseline::analytic(grid, 14, 4);
+  // Build tasmin days: baseline tasmin minus 6 for 8 consecutive days.
+  std::vector<Field> days;
+  for (int d = 0; d < 14; ++d) {
+    Field field(grid);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        field.at(i, j) = baseline.tasmin(i, j, d);
+      }
+    }
+    if (d >= 3 && d < 11) field.at(2, 2) -= 6.0f;
+    days.push_back(std::move(field));
+  }
+  WaveIndices indices = compute_wave_indices(days, baseline, false);
+  EXPECT_FLOAT_EQ(indices.duration_max.at(2, 2), 8.0f);
+  EXPECT_FLOAT_EQ(indices.count.at(2, 2), 1.0f);
+  EXPECT_FLOAT_EQ(indices.count.at(0, 0), 0.0f);
+}
+
+TEST(WaveIndices, DatacubePipelineMatchesReference) {
+  // The paper's Listing-1 pipeline must agree with the direct scan on real
+  // model output.
+  esm::EsmConfig config;
+  config.nlat = 24;
+  config.nlon = 36;
+  config.days_per_year = 40;
+  config.seed = 99;
+  esm::ForcingTable forcing =
+      esm::ForcingTable::from_scenario(config.scenario, config.start_year, 2);
+  esm::EsmModel model(config, forcing);
+  LatLonGrid grid(config.nlat, config.nlon);
+  Baseline baseline = Baseline::analytic(grid, config.days_per_year, config.steps_per_day);
+
+  std::vector<Field> tasmax_days;
+  for (int d = 0; d < config.days_per_year; ++d) {
+    tasmax_days.push_back(model.run_day().tasmax);
+  }
+  const WaveIndices reference = compute_wave_indices(tasmax_days, baseline, true);
+
+  // Build the cubes and run the datacube pipeline.
+  datacube::Server server(3);
+  datacube::Client client(server);
+  std::vector<float> temp_rows(grid.size() * static_cast<std::size_t>(config.days_per_year));
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    for (int d = 0; d < config.days_per_year; ++d) {
+      temp_rows[c * static_cast<std::size_t>(config.days_per_year) + static_cast<std::size_t>(d)] =
+          tasmax_days[static_cast<std::size_t>(d)][c];
+    }
+  }
+  std::vector<datacube::DimInfo> dims = {{"lat", grid.nlat(), grid.lats()},
+                                         {"lon", grid.nlon(), grid.lons()}};
+  datacube::DimInfo day_dim{"day", static_cast<std::size_t>(config.days_per_year), {}};
+  auto temp_cube = client.create_cube("tasmax", dims, day_dim, temp_rows);
+  ASSERT_TRUE(temp_cube.ok());
+  auto baseline_cube =
+      client.create_cube("baseline", dims, day_dim, baseline.tasmax_rows_by_day());
+  ASSERT_TRUE(baseline_cube.ok());
+
+  auto cubes = compute_wave_indices_datacube(client, *temp_cube, *baseline_cube, true);
+  ASSERT_TRUE(cubes.ok());
+  auto dur = index_cube_to_field(cubes->duration_max, grid);
+  auto count = index_cube_to_field(cubes->count, grid);
+  auto freq = index_cube_to_field(cubes->frequency, grid);
+  ASSERT_TRUE(dur.ok());
+  ASSERT_TRUE(count.ok());
+  ASSERT_TRUE(freq.ok());
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    ASSERT_FLOAT_EQ((*dur)[c], reference.duration_max[c]) << "cell " << c;
+    ASSERT_FLOAT_EQ((*count)[c], reference.count[c]) << "cell " << c;
+    ASSERT_NEAR((*freq)[c], reference.frequency[c], 1e-5f) << "cell " << c;
+  }
+}
+
+TEST(WaveIndices, IndexCubeToFieldChecksShape) {
+  datacube::Server server(1);
+  datacube::Client client(server);
+  auto cube = client.create_cube("m", {{"row", 4, {}}}, {"t", 1, {}},
+                                 std::vector<float>(4, 0.0f));
+  ASSERT_TRUE(cube.ok());
+  LatLonGrid wrong(4, 4);
+  EXPECT_FALSE(index_cube_to_field(*cube, wrong).ok());
+}
+
+// ---------------------------------------------------------------------------
+// TC tracker
+// ---------------------------------------------------------------------------
+
+/// Builds fields with a synthetic cyclone at (lat, lon).
+void imprint_cyclone(Field* psl, Field* wspd, Field* vort, const LatLonGrid& grid, double lat,
+                     double lon) {
+  for (std::size_t i = 0; i < grid.nlat(); ++i) {
+    for (std::size_t j = 0; j < grid.nlon(); ++j) {
+      const double r = esm::angular_distance_deg(grid.lat(i), grid.lon(j), lat, lon);
+      if (r > 15) continue;
+      psl->at(i, j) -= 40.0f * static_cast<float>(std::exp(-r * r / 16.0));
+      wspd->at(i, j) += 30.0f * static_cast<float>(std::exp(-r * r / 8.0));
+      vort->at(i, j) +=
+          (lat >= 0 ? 6.0f : -6.0f) * static_cast<float>(std::exp(-r * r / 16.0));
+    }
+  }
+}
+
+TEST(TcTracker, DetectsSyntheticCyclone) {
+  LatLonGrid grid(48, 72);
+  Field psl(grid, 1012.0f), wspd(grid, 6.0f), vort(grid, 0.0f);
+  imprint_cyclone(&psl, &wspd, &vort, grid, 18.0, 140.0);
+  const auto candidates = detect_candidates(psl, wspd, vort, grid, 0);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_NEAR(candidates[0].lat, 18.0, 4.0);
+  EXPECT_NEAR(candidates[0].lon, 140.0, 4.0);
+  EXPECT_LT(candidates[0].psl_hpa, 1000.0);
+  EXPECT_GT(candidates[0].max_wind_ms, 16.0);
+}
+
+TEST(TcTracker, RejectsWrongSignVorticity) {
+  LatLonGrid grid(48, 72);
+  Field psl(grid, 1012.0f), wspd(grid, 6.0f), vort(grid, 0.0f);
+  imprint_cyclone(&psl, &wspd, &vort, grid, 18.0, 140.0);
+  // Flip the vorticity sign: anticyclonic lows are rejected.
+  for (auto& v : vort.data()) v = -v;
+  EXPECT_TRUE(detect_candidates(psl, wspd, vort, grid, 0).empty());
+}
+
+TEST(TcTracker, RejectsHighLatitudeLows) {
+  LatLonGrid grid(48, 72);
+  Field psl(grid, 1012.0f), wspd(grid, 6.0f), vort(grid, 0.0f);
+  imprint_cyclone(&psl, &wspd, &vort, grid, 62.0, 40.0);  // beyond max_abs_lat
+  EXPECT_TRUE(detect_candidates(psl, wspd, vort, grid, 0).empty());
+}
+
+TEST(TcTracker, LinksMovingCycloneIntoOneTrack) {
+  LatLonGrid grid(48, 72);
+  // The coarse 5-degree test grid quantizes candidate positions, so a slow
+  // cyclone appears to hop a whole cell (>500 km) at once: give the linker a
+  // budget matching the cell size.
+  TrackerCriteria criteria;
+  criteria.max_speed_kmh = 120.0;
+  std::vector<std::vector<TcCandidate>> per_step;
+  for (int step = 0; step < 10; ++step) {
+    Field psl(grid, 1012.0f), wspd(grid, 6.0f), vort(grid, 0.0f);
+    const double lat = 14.0 + 0.5 * step;
+    const double lon = 150.0 - 1.2 * step;
+    imprint_cyclone(&psl, &wspd, &vort, grid, lat, lon);
+    per_step.push_back(detect_candidates(psl, wspd, vort, grid, step, criteria));
+  }
+  const auto tracks = link_tracks(per_step, 4, criteria);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_GE(tracks[0].duration_steps(), 9);  // one step may fall on a cell edge
+  EXPECT_LT(tracks[0].min_psl(), 1000.0);
+  EXPECT_GT(tracks[0].max_wind(), 16.0);
+}
+
+TEST(TcTracker, JumpBeyondSpeedLimitSplitsTracks) {
+  LatLonGrid grid(48, 72);
+  std::vector<std::vector<TcCandidate>> per_step;
+  TrackerCriteria criteria;
+  criteria.min_track_steps = 3;
+  for (int step = 0; step < 8; ++step) {
+    Field psl(grid, 1012.0f), wspd(grid, 6.0f), vort(grid, 0.0f);
+    // Teleports 90 degrees at step 4: must start a new track.
+    const double lon = step < 4 ? 140.0 : 230.0;
+    imprint_cyclone(&psl, &wspd, &vort, grid, 15.0, lon);
+    per_step.push_back(detect_candidates(psl, wspd, vort, grid, step, criteria));
+  }
+  const auto tracks = link_tracks(per_step, 4, criteria);
+  EXPECT_EQ(tracks.size(), 2u);
+}
+
+TEST(TcTracker, ShortLivedCandidatesFiltered) {
+  LatLonGrid grid(48, 72);
+  std::vector<std::vector<TcCandidate>> per_step;
+  TrackerCriteria criteria;  // min_track_steps = 6
+  for (int step = 0; step < 3; ++step) {
+    Field psl(grid, 1012.0f), wspd(grid, 6.0f), vort(grid, 0.0f);
+    imprint_cyclone(&psl, &wspd, &vort, grid, 15.0, 140.0);
+    per_step.push_back(detect_candidates(psl, wspd, vort, grid, step, criteria));
+  }
+  EXPECT_TRUE(link_tracks(per_step, 4, criteria).empty());
+}
+
+TEST(TcTracker, TwoSimultaneousCyclones) {
+  LatLonGrid grid(48, 72);
+  TrackerCriteria criteria;
+  criteria.max_speed_kmh = 120.0;  // see LinksMovingCycloneIntoOneTrack
+  std::vector<std::vector<TcCandidate>> per_step;
+  for (int step = 0; step < 8; ++step) {
+    Field psl(grid, 1012.0f), wspd(grid, 6.0f), vort(grid, 0.0f);
+    imprint_cyclone(&psl, &wspd, &vort, grid, 15.0, 120.0 - step);
+    imprint_cyclone(&psl, &wspd, &vort, grid, -15.0, 60.0 + step);
+    per_step.push_back(detect_candidates(psl, wspd, vort, grid, step, criteria));
+  }
+  const auto tracks = link_tracks(per_step, 4, criteria);
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_GE(tracks[0].duration_steps(), 7);
+  EXPECT_GE(tracks[1].duration_steps(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Skill scoring
+// ---------------------------------------------------------------------------
+
+esm::CycloneTruth make_truth(int id, int start_step, int steps, double lat, double lon) {
+  esm::CycloneTruth truth;
+  truth.id = id;
+  truth.genesis_step = start_step;
+  for (int s = 0; s < steps; ++s) {
+    truth.track.push_back({start_step + s, lat, lon + s, 980.0, 30.0});
+  }
+  return truth;
+}
+
+TEST(Skill, PerfectDetections) {
+  std::vector<esm::CycloneTruth> truth = {make_truth(1, 0, 5, 15.0, 140.0)};
+  std::vector<DetectionFix> detections;
+  for (int s = 0; s < 5; ++s) detections.push_back({s, 15.0, 140.0 + s});
+  const SkillScores scores = score_detections(detections, truth);
+  EXPECT_EQ(scores.hits, 5u);
+  EXPECT_EQ(scores.misses, 0u);
+  EXPECT_EQ(scores.false_alarms, 0u);
+  EXPECT_DOUBLE_EQ(scores.pod(), 1.0);
+  EXPECT_DOUBLE_EQ(scores.far(), 0.0);
+  EXPECT_NEAR(scores.mean_center_error_km, 0.0, 1e-9);
+}
+
+TEST(Skill, MissesAndFalseAlarms) {
+  std::vector<esm::CycloneTruth> truth = {make_truth(1, 0, 4, 15.0, 140.0)};
+  std::vector<DetectionFix> detections = {
+      {0, 15.0, 140.0},   // hit
+      {1, -40.0, 20.0},   // false alarm (far away)
+      {9, 15.0, 140.0},   // false alarm (no truth at step 9)
+  };
+  const SkillScores scores = score_detections(detections, truth);
+  EXPECT_EQ(scores.hits, 1u);
+  EXPECT_EQ(scores.misses, 3u);
+  EXPECT_EQ(scores.false_alarms, 2u);
+  EXPECT_NEAR(scores.pod(), 0.25, 1e-9);
+  EXPECT_NEAR(scores.far(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Skill, GreedyMatchingIsOneToOne) {
+  // Two truths at the same step, one detection: exactly one hit.
+  std::vector<esm::CycloneTruth> truth = {make_truth(1, 0, 1, 15.0, 140.0),
+                                          make_truth(2, 0, 1, 15.0, 150.0)};
+  std::vector<DetectionFix> detections = {{0, 15.0, 141.0}};
+  const SkillScores scores = score_detections(detections, truth);
+  EXPECT_EQ(scores.hits, 1u);
+  EXPECT_EQ(scores.misses, 1u);
+  EXPECT_EQ(scores.false_alarms, 0u);
+}
+
+TEST(Skill, TruthFixesFlattening) {
+  std::vector<esm::CycloneTruth> truth = {make_truth(1, 0, 3, 10, 100),
+                                          make_truth(2, 5, 2, -12, 200)};
+  EXPECT_EQ(truth_fixes(truth).size(), 5u);
+}
+
+}  // namespace
+}  // namespace climate::extremes
+
+namespace climate::extremes {
+namespace {
+
+TEST(Baseline, QuantileBaselineBracketsMean) {
+  LatLonGrid grid(4, 4);
+  common::Rng rng(55);
+  // 6 "years" of 10-day data with noise.
+  std::vector<Field> tasmax, tasmin;
+  for (int d = 0; d < 60; ++d) {
+    Field mx(grid), mn(grid);
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      mx[c] = 20.0f + static_cast<float>(rng.normal(0, 3));
+      mn[c] = 10.0f + static_cast<float>(rng.normal(0, 3));
+    }
+    tasmax.push_back(std::move(mx));
+    tasmin.push_back(std::move(mn));
+  }
+  Baseline mean_baseline = Baseline::from_daily_data(grid, 10, tasmax, tasmin);
+  Baseline q90 = Baseline::from_daily_quantile(grid, 10, tasmax, tasmin, 0.9, 2);
+  for (int doy = 0; doy < 10; ++doy) {
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      const std::size_t i = c / grid.nlon(), j = c % grid.nlon();
+      // The 90th percentile of tasmax sits above the mean; the 10th
+      // percentile of tasmin sits below it.
+      EXPECT_GT(q90.tasmax(i, j, doy), mean_baseline.tasmax(i, j, doy) - 0.5f);
+      EXPECT_LT(q90.tasmin(i, j, doy), mean_baseline.tasmin(i, j, doy) + 0.5f);
+    }
+  }
+  // Global check: on average the quantile baselines are strictly on the
+  // correct side of the means.
+  double dmax = 0, dmin = 0;
+  for (int doy = 0; doy < 10; ++doy) {
+    dmax += q90.tasmax(0, 0, doy) - mean_baseline.tasmax(0, 0, doy);
+    dmin += q90.tasmin(0, 0, doy) - mean_baseline.tasmin(0, 0, doy);
+  }
+  EXPECT_GT(dmax, 0.0);
+  EXPECT_LT(dmin, 0.0);
+}
+
+TEST(Baseline, QuantileBaselineReducesWaveCounts) {
+  // Against a 90th-percentile threshold, fewer heat waves qualify than
+  // against the mean baseline (monotonicity of the definition).
+  LatLonGrid grid(6, 6);
+  common::Rng rng(77);
+  std::vector<Field> days;
+  std::vector<Field> tasmin_days;
+  for (int d = 0; d < 40; ++d) {
+    Field f(grid);
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      f[c] = 25.0f + static_cast<float>(rng.normal(0, 4));
+    }
+    days.push_back(f);
+    tasmin_days.push_back(f);
+  }
+  Baseline mean_baseline = Baseline::from_daily_data(grid, 20, days, tasmin_days);
+  Baseline q_baseline = Baseline::from_daily_quantile(grid, 20, days, tasmin_days, 0.9, 2);
+  const WaveIndices vs_mean = compute_wave_indices(days, mean_baseline, true, 3, 2.0);
+  const WaveIndices vs_q = compute_wave_indices(days, q_baseline, true, 3, 2.0);
+  double mean_total = 0, q_total = 0;
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    mean_total += vs_mean.count[c];
+    q_total += vs_q.count[c];
+  }
+  EXPECT_LE(q_total, mean_total);
+}
+
+}  // namespace
+}  // namespace climate::extremes
+
+namespace climate::extremes {
+namespace {
+
+TEST(WarmingResponse, HotterScenarioMeansMoreHeatWaves) {
+  // The case study's motivation: indices respond to GHG forcing. Same
+  // weather noise, two forcing levels, fixed reference baseline.
+  auto run_year = [](esm::Scenario scenario, int start_year) {
+    esm::EsmConfig config;
+    config.nlat = 24;
+    config.nlon = 36;
+    config.days_per_year = 60;
+    config.seed = 31;
+    config.scenario = scenario;
+    config.start_year = start_year;
+    esm::ForcingTable forcing = esm::ForcingTable::from_scenario(scenario, 2015, 100);
+    esm::EsmModel model(config, forcing);
+    LatLonGrid grid(config.nlat, config.nlon);
+    std::vector<Field> tasmax_days, tasmin_days;
+    for (int d = 0; d < config.days_per_year; ++d) {
+      esm::DailyFields day = model.run_day();
+      tasmax_days.push_back(std::move(day.tasmax));
+      tasmin_days.push_back(std::move(day.tasmin));
+    }
+    Baseline baseline =
+        Baseline::analytic(grid, config.days_per_year, config.steps_per_day, 0.0);
+    return std::make_pair(compute_wave_indices(tasmax_days, baseline, true),
+                          compute_wave_indices(tasmin_days, baseline, false));
+  };
+  const auto [heat_now, cold_now] = run_year(esm::Scenario::kHistorical, 2015);
+  const auto [heat_future, cold_future] = run_year(esm::Scenario::kSsp585, 2090);
+  EXPECT_GT(heat_future.count.mean(), heat_now.count.mean());
+  EXPECT_GT(heat_future.frequency.mean(), heat_now.frequency.mean());
+  EXPECT_LT(cold_future.count.mean(), cold_now.count.mean());
+}
+
+}  // namespace
+}  // namespace climate::extremes

@@ -1,0 +1,488 @@
+// Tests for the HPCWaaS stack: YAML parsing, TOSCA topologies, container
+// image service, data logistics, batch scheduling, orchestrator, and the
+// REST-style execution API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "core/workflow.hpp"
+#include "hpcwaas/service.hpp"
+#include "hpcwaas/yaml.hpp"
+
+namespace climate::hpcwaas {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Yaml, ScalarsAndNesting) {
+  auto doc = parse_yaml(R"(
+name: test
+count: 3
+rate: 2.5
+flag: true
+off: false
+nothing: null
+nested:
+  inner: value
+  deeper:
+    leaf: 42
+)");
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  EXPECT_EQ(doc->get_string("name"), "test");
+  EXPECT_EQ(doc->get_int("count"), 3);
+  EXPECT_DOUBLE_EQ(doc->get_number("rate"), 2.5);
+  EXPECT_TRUE(doc->get_bool("flag"));
+  EXPECT_FALSE((*doc)["off"].as_bool());
+  EXPECT_TRUE((*doc)["nothing"].is_null());
+  EXPECT_EQ((*doc)["nested"]["deeper"].get_int("leaf"), 42);
+}
+
+TEST(Yaml, Sequences) {
+  auto doc = parse_yaml(R"(
+items:
+  - alpha
+  - beta
+  - 3
+mappings:
+  - host: node1
+  - depends: node2
+)");
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  const auto& items = (*doc)["items"];
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].as_string(), "alpha");
+  EXPECT_DOUBLE_EQ(items[2].as_number(), 3.0);
+  EXPECT_EQ((*doc)["mappings"][0].get_string("host"), "node1");
+  EXPECT_EQ((*doc)["mappings"][1].get_string("depends"), "node2");
+}
+
+TEST(Yaml, QuotedStringsAndComments) {
+  auto doc = parse_yaml(R"(
+# leading comment
+plain: hello world   # trailing comment
+quoted: "a: b # not a comment"
+single: 'it''s-ish'
+)");
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  EXPECT_EQ(doc->get_string("plain"), "hello world");
+  EXPECT_EQ(doc->get_string("quoted"), "a: b # not a comment");
+}
+
+TEST(Yaml, RejectsTabsAndGarbage) {
+  EXPECT_FALSE(parse_yaml("\tkey: value").ok());
+  EXPECT_FALSE(parse_yaml("just a scalar line").ok());
+}
+
+TEST(Tosca, ParsesCaseStudyTopology) {
+  auto topology = parse_topology(core::case_study_topology_yaml());
+  ASSERT_TRUE(topology.ok()) << topology.status().to_string();
+  EXPECT_EQ(topology->name, "climate-extremes-case-study");
+  EXPECT_EQ(topology->nodes.size(), 6u);
+  EXPECT_EQ(topology->inputs.size(), 2u);
+
+  const NodeTemplate* workflow = topology->find("extreme_events_workflow");
+  ASSERT_NE(workflow, nullptr);
+  EXPECT_EQ(workflow->kind, NodeKind::kWorkflow);
+  EXPECT_EQ(workflow->host, "zeus_cluster");
+  EXPECT_EQ(workflow->depends_on.size(), 4u);
+
+  auto order = topology->deployment_order();
+  ASSERT_TRUE(order.ok());
+  // The compute node comes first; the workflow node last.
+  EXPECT_EQ(order->front(), "zeus_cluster");
+  EXPECT_EQ(order->back(), "extreme_events_workflow");
+}
+
+TEST(Tosca, DetectsDanglingRequirements) {
+  const std::string bad = R"(
+name: broken
+topology_template:
+  node_templates:
+    app:
+      type: eflows.nodes.Software
+      requirements:
+        - host: missing_node
+)";
+  EXPECT_FALSE(parse_topology(bad).ok());
+}
+
+TEST(Tosca, DetectsCycles) {
+  const std::string cyclic = R"(
+name: cycle
+topology_template:
+  node_templates:
+    a:
+      type: eflows.nodes.Software
+      requirements:
+        - depends: b
+    b:
+      type: eflows.nodes.Software
+      requirements:
+        - depends: a
+)";
+  EXPECT_FALSE(parse_topology(cyclic).ok());
+}
+
+TEST(Tosca, RejectsUnknownTypes) {
+  const std::string unknown = R"(
+name: odd
+topology_template:
+  node_templates:
+    thing:
+      type: eflows.nodes.Quantum
+)";
+  EXPECT_FALSE(parse_topology(unknown).ok());
+}
+
+TEST(Containers, ColdThenWarmBuild) {
+  ContainerImageService service;
+  ImageSpec spec;
+  spec.name = "analytics";
+  spec.packages = {"pyophidia", "ophidia-server", "numpy"};
+  auto cold = service.build(spec);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->layers.size(), 4u);  // base + 3 packages
+  EXPECT_EQ(cold->cache_hits, 0u);
+  EXPECT_GT(cold->build_ms, 0.0);
+  EXPECT_GT(cold->total_bytes(), 0u);
+
+  auto warm = service.build(spec);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->cache_hits, 4u);
+  EXPECT_DOUBLE_EQ(warm->build_ms, 0.0);
+  EXPECT_EQ(warm->id, cold->id);
+
+  // Shared prefix: a spec with one extra package only builds one layer.
+  ImageSpec extended = spec;
+  extended.packages.push_back("scipy");
+  auto incremental = service.build(extended);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_EQ(incremental->cache_hits, 4u);
+  EXPECT_NE(incremental->id, cold->id);
+}
+
+TEST(Containers, PlatformChangesDigests) {
+  ContainerImageService service;
+  ImageSpec spec;
+  spec.name = "env";
+  spec.packages = {"pycompss"};
+  auto zeus = service.build(spec);
+  spec.platform.name = "marenostrum";
+  spec.platform.mpi = "intelmpi";
+  auto mn = service.build(spec);
+  ASSERT_TRUE(zeus.ok());
+  ASSERT_TRUE(mn.ok());
+  EXPECT_NE(zeus->id, mn->id);
+  EXPECT_EQ(mn->cache_hits, 0u);  // different platform -> cold
+}
+
+TEST(Containers, LookupAndCacheManagement) {
+  ContainerImageService service;
+  ImageSpec spec;
+  spec.name = "x";
+  spec.packages = {"a"};
+  auto image = service.build(spec);
+  ASSERT_TRUE(image.ok());
+  EXPECT_TRUE(service.get(image->id).ok());
+  EXPECT_FALSE(service.get("sha:nope").ok());
+  EXPECT_EQ(service.cached_layers(), 2u);
+  service.clear_cache();
+  EXPECT_EQ(service.cached_layers(), 0u);
+  EXPECT_FALSE(service.build(ImageSpec{}).ok());  // empty name
+}
+
+class DlsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("dls_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    std::ofstream(dir_ / "input.dat") << "climate data payload";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(DlsTest, CopyGenerateVerifyPipeline) {
+  DataLogisticsService dls;
+  DataPipeline pipeline;
+  pipeline.name = "stage_in";
+  pipeline.steps.push_back(
+      {DataStep::Kind::kCopy, (dir_ / "input.dat").string(), (dir_ / "staged/input.dat").string(),
+       nullptr, ""});
+  pipeline.steps.push_back({DataStep::Kind::kGenerate, "", (dir_ / "generated.txt").string(),
+                            [](const std::string& path) {
+                              std::ofstream out(path);
+                              out << "generated";
+                              return common::Status::Ok();
+                            },
+                            ""});
+  pipeline.steps.push_back(
+      {DataStep::Kind::kVerify, (dir_ / "staged/input.dat").string(), "", nullptr, ""});
+  dls.register_pipeline(pipeline);
+
+  auto report = dls.run("stage_in");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->steps.size(), 3u);
+  EXPECT_GT(report->total_bytes, 0u);
+  EXPECT_TRUE(fs::exists(dir_ / "staged/input.dat"));
+
+  // Checksums agree between source and staged copy.
+  auto src = file_digest((dir_ / "input.dat").string());
+  auto dst = file_digest((dir_ / "staged/input.dat").string());
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(*src, *dst);
+}
+
+TEST_F(DlsTest, VerifyDetectsCorruption) {
+  DataLogisticsService dls;
+  DataPipeline pipeline;
+  pipeline.name = "check";
+  pipeline.steps.push_back({DataStep::Kind::kVerify, (dir_ / "input.dat").string(), "", nullptr,
+                            "0000000000000000"});  // wrong digest
+  const PipelineReport report = dls.execute(pipeline);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(DlsTest, PipelineStopsAtFirstFailure) {
+  DataLogisticsService dls;
+  DataPipeline pipeline;
+  pipeline.name = "failing";
+  pipeline.steps.push_back(
+      {DataStep::Kind::kCopy, (dir_ / "missing.dat").string(), (dir_ / "out.dat").string(),
+       nullptr, ""});
+  pipeline.steps.push_back(
+      {DataStep::Kind::kVerify, (dir_ / "input.dat").string(), "", nullptr, ""});
+  const PipelineReport report = dls.execute(pipeline);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.steps.size(), 1u);  // second step never ran
+  EXPECT_FALSE(dls.run("unregistered").ok());
+}
+
+TEST(Batch, JobsRunAndRecordTimings) {
+  BatchScheduler scheduler({{"n0", 2, 16.0}});
+  std::atomic<int> ran{0};
+  JobSpec spec;
+  spec.name = "job";
+  auto id = scheduler.submit(spec, [&] { ran.fetch_add(1); });
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(scheduler.wait(*id).ok());
+  EXPECT_EQ(ran.load(), 1);
+  auto info = scheduler.info(*id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, JobState::kDone);
+  EXPECT_EQ(info->node, "n0");
+  EXPECT_GE(info->queue_wait_ns(), 0);
+}
+
+TEST(Batch, RejectsOversizedJobs) {
+  BatchScheduler scheduler({{"small", 1, 2.0}});
+  JobSpec spec;
+  spec.name = "huge";
+  spec.cores = 64;
+  EXPECT_FALSE(scheduler.submit(spec, [] {}).ok());
+}
+
+TEST(Batch, CapacityLimitsConcurrency) {
+  BatchScheduler scheduler({{"n0", 1, 16.0}});
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    JobSpec spec;
+    spec.name = "serial";
+    auto id = scheduler.submit(spec, [&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (expected < now && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      concurrent.fetch_sub(1);
+    });
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (JobId id : ids) ASSERT_TRUE(scheduler.wait(id).ok());
+  EXPECT_EQ(peak.load(), 1);  // single core -> strictly serial
+}
+
+TEST(Batch, BackfillSkipsBlockedHead) {
+  // A 2-core node running a 2-core job blocks another 2-core job, but a
+  // 1-core job behind it can backfill... with one core free it can start
+  // only when cores exist; craft: node 2 cores; job A 2 cores (running),
+  // job B 2 cores (pending), job C 1 core (pending) -> C cannot start while
+  // A occupies both; after A, both B and C fit in order. Use a 3-core node
+  // instead: A(2) running, B(2) pending, C(1) backfills immediately.
+  BatchScheduler scheduler({{"n0", 3, 16.0}});
+  std::atomic<bool> release_a{false};
+  std::atomic<bool> c_ran_while_a{false};
+  JobSpec a_spec;
+  a_spec.name = "A";
+  a_spec.cores = 2;
+  auto a = scheduler.submit(a_spec, [&] {
+    while (!release_a.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  JobSpec b_spec;
+  b_spec.name = "B";
+  b_spec.cores = 2;
+  auto b = scheduler.submit(b_spec, [] {});
+  JobSpec c_spec;
+  c_spec.name = "C";
+  c_spec.cores = 1;
+  auto c = scheduler.submit(c_spec, [&] { c_ran_while_a.store(!release_a.load()); });
+  ASSERT_TRUE(scheduler.wait(*c).ok());
+  release_a.store(true);
+  ASSERT_TRUE(scheduler.wait(*a).ok());
+  ASSERT_TRUE(scheduler.wait(*b).ok());
+  EXPECT_TRUE(c_ran_while_a.load());  // C finished before A released: backfilled
+}
+
+TEST(Batch, FailedJobSurfacesError) {
+  BatchScheduler scheduler({{"n0", 2, 8.0}});
+  JobSpec spec;
+  spec.name = "bad";
+  auto id = scheduler.submit(spec, [] { throw std::runtime_error("job exploded"); });
+  ASSERT_TRUE(id.ok());
+  const common::Status status = scheduler.wait(*id);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("job exploded"), std::string::npos);
+  EXPECT_EQ(scheduler.info(*id)->state, JobState::kFailed);
+}
+
+TEST(Orchestrator, DeploysCaseStudyTopology) {
+  ContainerImageService images;
+  DataLogisticsService dls;
+  // Register the pipeline the topology references.
+  DataPipeline pipeline;
+  pipeline.name = "forcing_stage_in";
+  dls.register_pipeline(pipeline);
+
+  Orchestrator orchestrator(images, dls);
+  auto topology = parse_topology(core::case_study_topology_yaml());
+  ASSERT_TRUE(topology.ok());
+  const Deployment deployment = orchestrator.deploy(*topology);
+  ASSERT_TRUE(deployment.ok()) << deployment.steps.back().status.to_string();
+  EXPECT_EQ(deployment.steps.size(), 6u);
+  EXPECT_EQ(deployment.image_ids.size(), 3u);  // three Software nodes
+  EXPECT_EQ(deployment.workflow_node, "extreme_events_workflow");
+}
+
+TEST(Orchestrator, FailsOnMissingPipeline) {
+  ContainerImageService images;
+  DataLogisticsService dls;  // pipeline NOT registered
+  Orchestrator orchestrator(images, dls);
+  auto topology = parse_topology(core::case_study_topology_yaml());
+  ASSERT_TRUE(topology.ok());
+  const Deployment deployment = orchestrator.deploy(*topology);
+  EXPECT_FALSE(deployment.ok());
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<HpcWaasService>();
+    DataPipeline pipeline;
+    pipeline.name = "forcing_stage_in";
+    service_->dls().register_pipeline(pipeline);
+  }
+
+  std::unique_ptr<HpcWaasService> service_;
+};
+
+TEST_F(ServiceTest, DeployInvokeAndPollViaApi) {
+  auto workflow_id = service_->deploy_workflow(
+      core::case_study_topology_yaml(), [](const Json& params) {
+        Json result = Json::object();
+        result["echo_years"] = params.get_string("years", "?");
+        result["done"] = true;
+        return result;
+      });
+  ASSERT_TRUE(workflow_id.ok()) << workflow_id.status().to_string();
+
+  // REST: list workflows.
+  auto list = service_->handle("GET", "/workflows", Json());
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ((*list)["workflows"].size(), 1u);
+  EXPECT_EQ((*list)["workflows"][0].get_string("id"), *workflow_id);
+
+  // REST: detail exposes the declared inputs with defaults.
+  auto detail = service_->handle("GET", "/workflows/" + *workflow_id, Json());
+  ASSERT_TRUE(detail.ok());
+  EXPECT_EQ((*detail)["inputs"].size(), 2u);
+
+  // REST: start an execution ("as a simple REST invocation").
+  Json params = Json::object();
+  auto started = service_->handle("POST", "/workflows/" + *workflow_id + "/executions", params);
+  ASSERT_TRUE(started.ok());
+  const std::string exec_id = started->get_string("execution_id");
+  ASSERT_FALSE(exec_id.empty());
+
+  ASSERT_TRUE(service_->wait(exec_id).ok());
+  auto status = service_->handle("GET", "/executions/" + exec_id, Json());
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->get_string("state"), "succeeded");
+  EXPECT_TRUE((*status)["result"].get_bool("done"));
+  // Default input value filled in from the topology declaration.
+  EXPECT_EQ((*status)["result"].get_string("echo_years"), "1");
+}
+
+TEST_F(ServiceTest, MissingRequiredInputRejected) {
+  const std::string topology = R"(
+name: strict
+topology_template:
+  inputs:
+    dataset:
+      type: string
+      required: true
+  node_templates:
+    cluster:
+      type: eflows.nodes.Compute
+    wf:
+      type: eflows.nodes.Workflow
+      requirements:
+        - host: cluster
+)";
+  auto id = service_->deploy_workflow(topology, [](const Json&) { return Json(); });
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(service_->invoke(*id, Json::object()).ok());
+  Json params = Json::object();
+  params["dataset"] = "cmip6";
+  EXPECT_TRUE(service_->invoke(*id, params).ok());
+}
+
+TEST_F(ServiceTest, FailedExecutionReported) {
+  auto id = service_->deploy_workflow(core::case_study_topology_yaml(), [](const Json&) -> Json {
+    throw std::runtime_error("workflow crashed");
+  });
+  ASSERT_TRUE(id.ok());
+  auto exec = service_->invoke(*id, Json::object());
+  ASSERT_TRUE(exec.ok());
+  EXPECT_FALSE(service_->wait(*exec).ok());
+  auto status = service_->handle("GET", "/executions/" + *exec, Json());
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->get_string("state"), "failed");
+  EXPECT_NE(status->get_string("error").find("crashed"), std::string::npos);
+}
+
+TEST_F(ServiceTest, UnknownRoutesAndIds) {
+  EXPECT_FALSE(service_->handle("GET", "/nope", Json()).ok());
+  EXPECT_FALSE(service_->handle("GET", "/workflows/wf-99", Json()).ok());
+  EXPECT_FALSE(service_->handle("GET", "/executions/exec-99", Json()).ok());
+  EXPECT_FALSE(service_->invoke("wf-99", Json()).ok());
+  EXPECT_FALSE(service_->undeploy_workflow("wf-99").ok());
+}
+
+TEST_F(ServiceTest, UndeployRemovesWorkflow) {
+  auto id = service_->deploy_workflow(core::case_study_topology_yaml(),
+                                      [](const Json&) { return Json(); });
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service_->undeploy_workflow(*id).ok());
+  EXPECT_TRUE(service_->workflows().empty());
+  EXPECT_FALSE(service_->invoke(*id, Json()).ok());
+}
+
+}  // namespace
+}  // namespace climate::hpcwaas

@@ -1,0 +1,413 @@
+// Tests for the ML stack: tensors, layer forward/backward (numerical
+// gradient checks), losses, optimizers, persistence, and the TC pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "ml/network.hpp"
+#include "ml/tc_pipeline.hpp"
+
+namespace climate::ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Tensor, ShapeAndAccessors) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  t.at2(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t[5], 5.0f);
+  Tensor t4({2, 3, 4, 5});
+  t4.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t4[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+  EXPECT_EQ(t4.shape_string(), "[2x3x4x5]");
+}
+
+TEST(Tensor, ReshapeChecksSize) {
+  Tensor t({4, 4});
+  t.reshape({2, 8});
+  EXPECT_EQ(t.dim(1), 8u);
+  EXPECT_THROW(t.reshape({3, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, HeUniformBounded) {
+  common::Rng rng(1);
+  Tensor t = Tensor::he_uniform({64}, 16, rng);
+  const float limit = std::sqrt(6.0f / 16.0f);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::fabs(t[i]), limit);
+  }
+}
+
+// Numerical gradient check of a whole network against backprop.
+TEST(Layers, GradientCheckDenseReluSigmoid) {
+  common::Rng rng(3);
+  Sequential net;
+  net.add(std::make_unique<Dense>(5, 4, rng))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(4, 2, rng))
+      .add(std::make_unique<Sigmoid>());
+
+  Tensor input({2, 5});
+  common::Rng data_rng(5);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(data_rng.normal(0, 1));
+  }
+  Tensor target({2, 2});
+  target.fill(1.0f);
+
+  auto loss_fn = [&]() {
+    Tensor pred = net.forward(input, true);
+    Tensor grad;
+    return std::make_pair(bce_loss(pred, target, &grad), grad);
+  };
+
+  net.zero_grad();
+  auto [loss, grad] = loss_fn();
+  net.backward(grad);
+
+  // Compare analytic parameter gradients against central differences.
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (Parameter* p : net.parameters()) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(p->value.size(), 4); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const float plus = loss_fn().first;
+      p->value[i] = saved - eps;
+      const float minus = loss_fn().first;
+      p->value[i] = saved;
+      const float numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, 2e-2f) << p->name << "[" << i << "]";
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 8);
+}
+
+TEST(Layers, GradientCheckConvPool) {
+  common::Rng rng(11);
+  Sequential net;
+  net.add(std::make_unique<Conv2D>(1, 2, 3, rng))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2>())
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(2 * 2 * 2, 1, rng))
+      .add(std::make_unique<Sigmoid>());
+
+  Tensor input({1, 1, 4, 4});
+  common::Rng data_rng(13);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(data_rng.normal(0, 1));
+  }
+  Tensor target({1, 1});
+  target[0] = 1.0f;
+
+  auto loss_fn = [&]() {
+    Tensor pred = net.forward(input, true);
+    Tensor grad;
+    return std::make_pair(bce_loss(pred, target, &grad), grad);
+  };
+  net.zero_grad();
+  auto [loss, grad] = loss_fn();
+  net.backward(grad);
+
+  const float eps = 1e-3f;
+  for (Parameter* p : net.parameters()) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(p->value.size(), 3); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const float plus = loss_fn().first;
+      p->value[i] = saved - eps;
+      const float minus = loss_fn().first;
+      p->value[i] = saved;
+      EXPECT_NEAR(p->grad[i], (plus - minus) / (2 * eps), 3e-2f) << p->name;
+    }
+  }
+}
+
+TEST(Layers, Conv2DPreservesSpatialSize) {
+  common::Rng rng(2);
+  Conv2D conv(3, 8, 3, rng);
+  Tensor input({2, 3, 10, 12});
+  Tensor out = conv.forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{2, 8, 10, 12}));
+  EXPECT_THROW(Conv2D(1, 1, 4, rng), std::invalid_argument);  // even kernel
+}
+
+TEST(Layers, MaxPoolHalvesAndSelectsMax) {
+  MaxPool2 pool;
+  Tensor input({1, 1, 2, 2});
+  input[0] = 1;
+  input[1] = 7;
+  input[2] = 3;
+  input[3] = 5;
+  Tensor out = pool.forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 7.0f);
+}
+
+TEST(Losses, BceAtPerfectPredictionNearZero) {
+  Tensor pred({1, 1});
+  pred[0] = 0.9999f;
+  Tensor target({1, 1});
+  target[0] = 1.0f;
+  Tensor grad;
+  EXPECT_LT(bce_loss(pred, target, &grad), 1e-3f);
+  pred[0] = 0.0001f;
+  EXPECT_GT(bce_loss(pred, target, &grad), 5.0f);
+}
+
+TEST(Losses, MaskedMseIgnoresMaskedElements) {
+  Tensor pred({1, 2});
+  pred[0] = 1.0f;
+  pred[1] = 100.0f;  // wildly wrong but masked out
+  Tensor target({1, 2});
+  target[0] = 0.0f;
+  target[1] = 0.0f;
+  Tensor mask({1, 2});
+  mask[0] = 1.0f;
+  mask[1] = 0.0f;
+  Tensor grad;
+  const float loss = mse_loss(pred, target, mask, &grad);
+  EXPECT_NEAR(loss, 0.5f, 1e-5f);  // only (1-0)^2 / 2 elements
+  EXPECT_FLOAT_EQ(grad[1], 0.0f);
+}
+
+TEST(Optimizers, AdamReducesLossOnToyProblem) {
+  common::Rng rng(17);
+  Sequential net;
+  net.add(std::make_unique<Dense>(2, 8, rng))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(8, 1, rng))
+      .add(std::make_unique<Sigmoid>());
+  AdamOptimizer adam(net.parameters(), 5e-2f);
+
+  // XOR-ish binary task.
+  Tensor inputs({4, 2});
+  const float xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  Tensor targets({4, 1});
+  for (int i = 0; i < 4; ++i) {
+    inputs.at2(static_cast<std::size_t>(i), 0) = xs[i][0];
+    inputs.at2(static_cast<std::size_t>(i), 1) = xs[i][1];
+    targets[static_cast<std::size_t>(i)] = (xs[i][0] != xs[i][1]) ? 1.0f : 0.0f;
+  }
+  float first_loss = 0, last_loss = 0;
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    net.zero_grad();
+    Tensor pred = net.forward(inputs, true);
+    Tensor grad;
+    const float loss = bce_loss(pred, targets, &grad);
+    if (epoch == 0) first_loss = loss;
+    last_loss = loss;
+    net.backward(grad);
+    adam.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.3f);
+  EXPECT_LT(last_loss, 0.3f);
+}
+
+TEST(Optimizers, SgdStepsDownhill) {
+  common::Rng rng(23);
+  Sequential net;
+  net.add(std::make_unique<Dense>(1, 1, rng));
+  SgdOptimizer sgd(net.parameters(), 0.05f, 0.0f);
+  Tensor input({1, 1});
+  input[0] = 1.0f;
+  Tensor target({1, 1});
+  target[0] = 3.0f;
+  Tensor mask({1, 1});
+  mask[0] = 1.0f;
+  float first = 0, last = 0;
+  for (int i = 0; i < 100; ++i) {
+    net.zero_grad();
+    Tensor pred = net.forward(input, true);
+    Tensor grad;
+    const float loss = mse_loss(pred, target, mask, &grad);
+    if (i == 0) first = loss;
+    last = loss;
+    net.backward(grad);
+    sgd.step();
+  }
+  EXPECT_LT(last, first * 0.01f);
+}
+
+TEST(Network, SaveLoadRoundTrip) {
+  const std::string path = (fs::temp_directory_path() / "weights_test.bin").string();
+  common::Rng rng(31);
+  Sequential a;
+  a.add(std::make_unique<Dense>(4, 3, rng)).add(std::make_unique<Dense>(3, 2, rng));
+  ASSERT_TRUE(a.save_weights(path).ok());
+
+  common::Rng rng2(99);
+  Sequential b;
+  b.add(std::make_unique<Dense>(4, 3, rng2)).add(std::make_unique<Dense>(3, 2, rng2));
+  ASSERT_TRUE(b.load_weights(path).ok());
+
+  Tensor input({1, 4});
+  input.fill(0.5f);
+  const Tensor pa = a.forward(input, false);
+  const Tensor pb = b.forward(input, false);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_FLOAT_EQ(pa[i], pb[i]);
+
+  // Architecture mismatch refuses to load.
+  Sequential c;
+  common::Rng rng3(1);
+  c.add(std::make_unique<Dense>(4, 3, rng3));
+  EXPECT_FALSE(c.load_weights(path).ok());
+  fs::remove(path);
+}
+
+TEST(TcPipeline, PatchTilingCoversGrid) {
+  common::Field psl(32, 48, 1013.0f), wspd(32, 48, 5.0f), vort(32, 48, 0.0f), tas(32, 48, 20.0f);
+  auto patches = make_patches(psl, wspd, vort, tas, 16);
+  EXPECT_EQ(patches.size(), 2u * 3u);
+  EXPECT_EQ(patches[0].features.shape(), (std::vector<std::size_t>{kTcChannels, 16, 16}));
+  // Feature scaling applied: psl 1013 -> 0.
+  EXPECT_NEAR(patches[0].features[0], 0.0f, 1e-5f);
+}
+
+TEST(TcPipeline, LabelPatchesFindsCenters) {
+  common::Field f(32, 48, 0.0f);
+  auto patches = make_patches(f, f, f, f, 16);
+  label_patches(patches, 16, {{20.0, 40.0}});  // inside patch (1, 2)
+  int positives = 0;
+  for (const TcPatch& p : patches) {
+    if (p.has_tc) {
+      ++positives;
+      EXPECT_EQ(p.row0, 16u);
+      EXPECT_EQ(p.col0, 32u);
+      EXPECT_NEAR(p.center_row_frac, 4.0f / 16.0f, 1e-5f);
+      EXPECT_NEAR(p.center_col_frac, 8.0f / 16.0f, 1e-5f);
+    }
+  }
+  EXPECT_EQ(positives, 1);
+}
+
+TEST(TcPipeline, LocalizerLearnsSyntheticCyclones) {
+  // Synthetic patches: a pressure dip + wind ring at a random position for
+  // positives, flat noise for negatives. The CNN must learn to separate
+  // them and regress the centre.
+  const std::size_t patch = 16;
+  common::Rng rng(41);
+  auto make_sample = [&](bool positive) {
+    TcPatch p;
+    p.features = Tensor({kTcChannels, patch, patch});
+    const double cy = 3 + rng.uniform() * (patch - 6);
+    const double cx = 3 + rng.uniform() * (patch - 6);
+    for (std::size_t y = 0; y < patch; ++y) {
+      for (std::size_t x = 0; x < patch; ++x) {
+        float psl = 1013.0f + static_cast<float>(rng.normal(0, 1.2));
+        float wind = 6.0f + static_cast<float>(rng.normal(0, 1.5));
+        float vort = static_cast<float>(rng.normal(0, 0.4));
+        float temp = 25.0f + static_cast<float>(rng.normal(0, 0.8));
+        if (positive) {
+          const double r2 = ((y - cy) * (y - cy) + (x - cx) * (x - cx)) / 9.0;
+          psl -= 35.0f * static_cast<float>(std::exp(-r2));
+          wind += 28.0f * static_cast<float>(std::exp(-r2 / 2));
+          vort += 6.0f * static_cast<float>(std::exp(-r2));
+        }
+        p.features[(0 * patch + y) * patch + x] = scale_feature(0, psl);
+        p.features[(1 * patch + y) * patch + x] = scale_feature(1, wind);
+        p.features[(2 * patch + y) * patch + x] = scale_feature(2, vort);
+        p.features[(3 * patch + y) * patch + x] = scale_feature(3, temp);
+      }
+    }
+    p.has_tc = positive;
+    p.center_row_frac = static_cast<float>(cy / patch);
+    p.center_col_frac = static_cast<float>(cx / patch);
+    return p;
+  };
+
+  std::vector<TcPatch> train;
+  for (int i = 0; i < 160; ++i) train.push_back(make_sample(i % 2 == 0));
+
+  TcLocalizer localizer(patch, 4242);
+  float loss = 0;
+  for (int epoch = 0; epoch < 12; ++epoch) loss = localizer.train_epoch(train);
+  EXPECT_LT(loss, 0.5f);
+
+  // Held-out evaluation.
+  int correct = 0;
+  double center_err = 0;
+  int positives = 0;
+  std::vector<TcPatch> test;
+  for (int i = 0; i < 60; ++i) test.push_back(make_sample(i % 2 == 0));
+  const auto outputs = localizer.infer(test);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const bool predicted = outputs[i].presence > 0.5f;
+    if (predicted == test[i].has_tc) ++correct;
+    if (test[i].has_tc) {
+      ++positives;
+      center_err += std::hypot(outputs[i].row_frac - test[i].center_row_frac,
+                               outputs[i].col_frac - test[i].center_col_frac);
+    }
+  }
+  EXPECT_GT(correct, 50);  // > 83% accuracy
+  EXPECT_LT(center_err / positives, 0.25);  // within a quarter patch
+}
+
+TEST(TcPipeline, DetectEndToEndOnSyntheticField) {
+  // Train quickly, then run detect() on a full field with one synthetic
+  // cyclone imprinted, checking geo-referencing.
+  const std::size_t patch = 16;
+  common::LatLonGrid grid(32, 48);
+  common::Field psl(grid, 1013.0f), wspd(grid, 5.0f), vort(grid, 0.0f), tas(grid, 24.0f);
+  const std::size_t cy = 12, cx = 30;
+  for (std::size_t y = 0; y < 32; ++y) {
+    for (std::size_t x = 0; x < 48; ++x) {
+      const double r2 =
+          ((y - static_cast<double>(cy)) * (y - static_cast<double>(cy)) +
+           (x - static_cast<double>(cx)) * (x - static_cast<double>(cx))) / 6.0;
+      psl.at(y, x) -= 38.0f * static_cast<float>(std::exp(-r2));
+      wspd.at(y, x) += 30.0f * static_cast<float>(std::exp(-r2 / 2));
+      vort.at(y, x) += 7.0f * static_cast<float>(std::exp(-r2));
+    }
+  }
+
+  // Training patches from shifted copies of the same pattern.
+  TcLocalizer localizer(patch, 7);
+  std::vector<TcPatch> train;
+  common::Rng rng(3);
+  for (int i = 0; i < 120; ++i) {
+    const bool positive = i % 2 == 0;
+    common::Field p2(patch, patch, 1013.0f), w2(patch, patch, 5.0f), v2(patch, patch, 0.0f),
+        t2(patch, patch, 24.0f);
+    const double py = 3 + rng.uniform() * 10, px = 3 + rng.uniform() * 10;
+    for (std::size_t y = 0; y < patch; ++y) {
+      for (std::size_t x = 0; x < patch; ++x) {
+        double r2 = ((y - py) * (y - py) + (x - px) * (x - px)) / 6.0;
+        if (positive) {
+          p2.at(y, x) -= 38.0f * static_cast<float>(std::exp(-r2));
+          w2.at(y, x) += 30.0f * static_cast<float>(std::exp(-r2 / 2));
+          v2.at(y, x) += 7.0f * static_cast<float>(std::exp(-r2));
+        }
+        p2.at(y, x) += static_cast<float>(rng.normal(0, 1.0));
+        w2.at(y, x) += static_cast<float>(rng.normal(0, 1.0));
+      }
+    }
+    auto patches = make_patches(p2, w2, v2, t2, patch);
+    patches[0].has_tc = positive;
+    patches[0].center_row_frac = static_cast<float>(py / patch);
+    patches[0].center_col_frac = static_cast<float>(px / patch);
+    train.push_back(std::move(patches[0]));
+  }
+  for (int epoch = 0; epoch < 12; ++epoch) localizer.train_epoch(train);
+
+  const auto detections = localizer.detect(psl, wspd, vort, tas, grid, 0.5);
+  ASSERT_GE(detections.size(), 1u);
+  // Nearest detection to the imprinted centre.
+  const double true_lat = grid.lat(cy);
+  const double true_lon = grid.lon(cx);
+  double best = 1e18;
+  for (const TcDetection& d : detections) {
+    best = std::min(best, common::great_circle_km(d.lat, d.lon, true_lat, true_lon));
+  }
+  // One cell of this very coarse 32x48 test grid spans ~600 km; require the
+  // centre within a few cells.
+  EXPECT_LT(best, 2200.0);
+}
+
+}  // namespace
+}  // namespace climate::ml

@@ -1,0 +1,250 @@
+// Unit tests for the CDF-lite file format: round trips, hyperslabs,
+// attributes, error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ncio/ncfile.hpp"
+
+namespace climate::ncio {
+namespace {
+
+namespace fs = std::filesystem;
+
+class NcioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("ncio_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(NcioTest, RoundTripFloatVariable) {
+  auto writer = FileWriter::create(path("a.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("x", 4).ok());
+  ASSERT_TRUE(writer->def_dim("y", 3).ok());
+  ASSERT_TRUE(writer->def_var("v", DType::kFloat32, {"x", "y"}).ok());
+  ASSERT_TRUE(writer->end_def().ok());
+  std::vector<float> data(12);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i) * 1.5f;
+  ASSERT_TRUE(writer->put_var("v", data.data(), data.size()).ok());
+  ASSERT_TRUE(writer->close().ok());
+
+  auto reader = FileReader::open(path("a.nc"));
+  ASSERT_TRUE(reader.ok());
+  auto shape = reader->var_shape("v");
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(*shape, (std::vector<std::uint64_t>{4, 3}));
+  auto values = reader->read_floats("v");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, data);
+}
+
+TEST_F(NcioTest, AllDTypesRoundTrip) {
+  auto writer = FileWriter::create(path("types.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("n", 5).ok());
+  ASSERT_TRUE(writer->def_var("f32", DType::kFloat32, {"n"}).ok());
+  ASSERT_TRUE(writer->def_var("f64", DType::kFloat64, {"n"}).ok());
+  ASSERT_TRUE(writer->def_var("i32", DType::kInt32, {"n"}).ok());
+  ASSERT_TRUE(writer->def_var("i64", DType::kInt64, {"n"}).ok());
+  ASSERT_TRUE(writer->end_def().ok());
+  std::vector<float> f32 = {1, 2, 3, 4, 5};
+  std::vector<double> f64 = {1.5, 2.5, 3.5, 4.5, 5.5};
+  std::vector<std::int32_t> i32 = {-1, 0, 1, 2, 3};
+  std::vector<std::int64_t> i64 = {10, 20, 30, 40, 1LL << 40};
+  ASSERT_TRUE(writer->put_var("f32", f32.data(), 5).ok());
+  ASSERT_TRUE(writer->put_var("f64", f64.data(), 5).ok());
+  ASSERT_TRUE(writer->put_var("i32", i32.data(), 5).ok());
+  ASSERT_TRUE(writer->put_var("i64", i64.data(), 5).ok());
+  ASSERT_TRUE(writer->close().ok());
+
+  auto reader = FileReader::open(path("types.nc"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->read_floats("f32"), f32);
+  EXPECT_EQ(*reader->read_doubles("f64"), f64);
+  auto i32_back = reader->read_doubles("i32");
+  ASSERT_TRUE(i32_back.ok());
+  EXPECT_EQ((*i32_back)[0], -1.0);
+  auto i64_back = reader->read_doubles("i64");
+  ASSERT_TRUE(i64_back.ok());
+  EXPECT_EQ((*i64_back)[4], static_cast<double>(1LL << 40));
+}
+
+TEST_F(NcioTest, AttributesRoundTrip) {
+  auto writer = FileWriter::create(path("attrs.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("n", 2).ok());
+  ASSERT_TRUE(writer->def_var("v", DType::kFloat32, {"n"}).ok());
+  ASSERT_TRUE(writer->put_attr("", "title", std::string("test file")).ok());
+  ASSERT_TRUE(writer->put_attr("", "year", static_cast<std::int64_t>(2026)).ok());
+  ASSERT_TRUE(writer->put_attr("v", "scale", 2.5).ok());
+  ASSERT_TRUE(writer->put_attr("v", "units", std::string("degC")).ok());
+  ASSERT_TRUE(writer->end_def().ok());
+  std::vector<float> data = {1, 2};
+  ASSERT_TRUE(writer->put_var("v", data.data(), 2).ok());
+  ASSERT_TRUE(writer->close().ok());
+
+  auto reader = FileReader::open(path("attrs.nc"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(std::get<std::string>(*reader->attr("", "title")), "test file");
+  EXPECT_EQ(std::get<std::int64_t>(*reader->attr("", "year")), 2026);
+  EXPECT_DOUBLE_EQ(std::get<double>(*reader->attr("v", "scale")), 2.5);
+  EXPECT_EQ(std::get<std::string>(*reader->attr("v", "units")), "degC");
+  EXPECT_FALSE(reader->attr("v", "missing").ok());
+  EXPECT_FALSE(reader->attr("w", "units").ok());
+}
+
+TEST_F(NcioTest, HyperslabReadMatchesManualSlice) {
+  auto writer = FileWriter::create(path("slab.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("a", 4).ok());
+  ASSERT_TRUE(writer->def_dim("b", 5).ok());
+  ASSERT_TRUE(writer->def_dim("c", 6).ok());
+  ASSERT_TRUE(writer->def_var("v", DType::kFloat32, {"a", "b", "c"}).ok());
+  ASSERT_TRUE(writer->end_def().ok());
+  std::vector<float> data(4 * 5 * 6);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+  ASSERT_TRUE(writer->put_var("v", data.data(), data.size()).ok());
+  ASSERT_TRUE(writer->close().ok());
+
+  auto reader = FileReader::open(path("slab.nc"));
+  ASSERT_TRUE(reader.ok());
+  auto slab = reader->read_slab("v", {1, 2, 3}, {2, 2, 2});
+  ASSERT_TRUE(slab.ok());
+  ASSERT_EQ(slab->size(), 8u);
+  std::size_t k = 0;
+  for (std::uint64_t a = 1; a <= 2; ++a) {
+    for (std::uint64_t b = 2; b <= 3; ++b) {
+      for (std::uint64_t c = 3; c <= 4; ++c) {
+        EXPECT_FLOAT_EQ((*slab)[k++], data[(a * 5 + b) * 6 + c]);
+      }
+    }
+  }
+}
+
+TEST_F(NcioTest, HyperslabWriteThenFullRead) {
+  auto writer = FileWriter::create(path("slabw.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("r", 3).ok());
+  ASSERT_TRUE(writer->def_dim("c", 4).ok());
+  ASSERT_TRUE(writer->def_var("v", DType::kFloat32, {"r", "c"}).ok());
+  ASSERT_TRUE(writer->end_def().ok());
+  std::vector<float> zero(12, 0.0f);
+  ASSERT_TRUE(writer->put_var("v", zero.data(), zero.size()).ok());
+  std::vector<float> patch = {9, 8, 7, 6};
+  ASSERT_TRUE(writer->put_slab("v", {1, 1}, {2, 2}, patch.data()).ok());
+  ASSERT_TRUE(writer->close().ok());
+
+  auto reader = FileReader::open(path("slabw.nc"));
+  ASSERT_TRUE(reader.ok());
+  auto values = reader->read_floats("v");
+  ASSERT_TRUE(values.ok());
+  EXPECT_FLOAT_EQ((*values)[1 * 4 + 1], 9.0f);
+  EXPECT_FLOAT_EQ((*values)[1 * 4 + 2], 8.0f);
+  EXPECT_FLOAT_EQ((*values)[2 * 4 + 1], 7.0f);
+  EXPECT_FLOAT_EQ((*values)[2 * 4 + 2], 6.0f);
+  EXPECT_FLOAT_EQ((*values)[0], 0.0f);
+}
+
+TEST_F(NcioTest, ErrorPaths) {
+  auto writer = FileWriter::create(path("err.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("n", 3).ok());
+  EXPECT_FALSE(writer->def_dim("n", 4).ok());          // duplicate dim
+  EXPECT_FALSE(writer->def_dim("z", 0).ok());          // zero length
+  ASSERT_TRUE(writer->def_var("v", DType::kFloat32, {"n"}).ok());
+  EXPECT_FALSE(writer->def_var("v", DType::kFloat32, {"n"}).ok());  // dup var
+  EXPECT_FALSE(writer->def_var("w", DType::kFloat32, {"missing"}).ok());
+  std::vector<float> data = {1, 2, 3};
+  EXPECT_FALSE(writer->put_var("v", data.data(), 3).ok());  // before end_def
+  ASSERT_TRUE(writer->end_def().ok());
+  EXPECT_FALSE(writer->end_def().ok());                     // double end_def
+  EXPECT_FALSE(writer->put_var("v", data.data(), 2).ok());  // wrong count
+  EXPECT_FALSE(writer->put_var("w", data.data(), 3).ok());  // unknown var
+  std::vector<double> dbl = {1, 2, 3};
+  EXPECT_FALSE(writer->put_var("v", dbl.data(), 3).ok());   // wrong dtype
+  ASSERT_TRUE(writer->put_var("v", data.data(), 3).ok());
+  ASSERT_TRUE(writer->close().ok());
+
+  EXPECT_FALSE(FileReader::open(path("nonexistent.nc")).ok());
+
+  auto reader = FileReader::open(path("err.nc"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->read_floats("missing").ok());
+  EXPECT_FALSE(reader->read_slab("v", {0}, {4}).ok());      // out of range
+  EXPECT_FALSE(reader->read_slab("v", {0, 0}, {1, 1}).ok()); // rank mismatch
+  EXPECT_FALSE(reader->dim_length("zz").ok());
+}
+
+TEST_F(NcioTest, RejectsNonCdfFiles) {
+  {
+    std::ofstream junk(path("junk.nc"), std::ios::binary);
+    junk << "this is not a cdf-lite file at all";
+  }
+  EXPECT_FALSE(FileReader::open(path("junk.nc")).ok());
+}
+
+TEST_F(NcioTest, TotalBytesMatchesFileSize) {
+  auto writer = FileWriter::create(path("size.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("n", 100).ok());
+  ASSERT_TRUE(writer->def_var("v", DType::kFloat32, {"n"}).ok());
+  ASSERT_TRUE(writer->end_def().ok());
+  std::vector<float> data(100, 1.0f);
+  ASSERT_TRUE(writer->put_var("v", data.data(), 100).ok());
+  const std::uint64_t declared = writer->total_bytes();
+  ASSERT_TRUE(writer->close().ok());
+  EXPECT_EQ(fs::file_size(path("size.nc")), declared);
+}
+
+}  // namespace
+}  // namespace climate::ncio
+
+namespace climate::ncio {
+namespace {
+
+TEST_F(NcioTest, ManyVariablesHeaderSurvives) {
+  auto writer = FileWriter::create(path("many.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("n", 3).ok());
+  for (int v = 0; v < 60; ++v) {
+    ASSERT_TRUE(writer->def_var("variable_" + std::to_string(v), DType::kFloat32, {"n"}).ok());
+  }
+  ASSERT_TRUE(writer->end_def().ok());
+  std::vector<float> data = {1, 2, 3};
+  for (int v = 0; v < 60; ++v) {
+    ASSERT_TRUE(writer->put_var("variable_" + std::to_string(v), data.data(), 3).ok());
+  }
+  ASSERT_TRUE(writer->close().ok());
+  auto reader = FileReader::open(path("many.nc"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->vars().size(), 60u);
+  EXPECT_EQ(*reader->read_floats("variable_59"), data);
+}
+
+TEST_F(NcioTest, ScalarHyperslabOnOneDimVar) {
+  auto writer = FileWriter::create(path("one.nc"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->def_dim("n", 5).ok());
+  ASSERT_TRUE(writer->def_var("v", DType::kFloat32, {"n"}).ok());
+  ASSERT_TRUE(writer->end_def().ok());
+  std::vector<float> data = {10, 20, 30, 40, 50};
+  ASSERT_TRUE(writer->put_var("v", data.data(), 5).ok());
+  ASSERT_TRUE(writer->close().ok());
+  auto reader = FileReader::open(path("one.nc"));
+  auto slab = reader->read_slab("v", {2}, {2});
+  ASSERT_TRUE(slab.ok());
+  EXPECT_EQ(*slab, (std::vector<float>{30, 40}));
+}
+
+}  // namespace
+}  // namespace climate::ncio

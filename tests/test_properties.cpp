@@ -1,0 +1,239 @@
+// Cross-module property tests: randomized CDF-lite schemas round-trip,
+// random task DAGs execute in dependency order, and random datacube
+// operator pipelines agree with a dense reference implementation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "datacube/server.hpp"
+#include "ncio/ncfile.hpp"
+#include "taskrt/runtime.hpp"
+
+namespace climate {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// ncio: random schemas and hyperslabs round-trip.
+// ---------------------------------------------------------------------------
+
+class NcioFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NcioFuzz, RandomSchemaRoundTrip) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const std::string path =
+      (fs::temp_directory_path() / ("fuzz_" + std::to_string(GetParam()) + ".nc")).string();
+
+  auto writer = ncio::FileWriter::create(path);
+  ASSERT_TRUE(writer.ok());
+
+  // Random dimensions.
+  const int ndims = static_cast<int>(rng.uniform_int(1, 4));
+  std::vector<std::string> dim_names;
+  std::vector<std::uint64_t> dim_sizes;
+  for (int d = 0; d < ndims; ++d) {
+    dim_names.push_back("dim" + std::to_string(d));
+    dim_sizes.push_back(static_cast<std::uint64_t>(rng.uniform_int(1, 9)));
+    ASSERT_TRUE(writer->def_dim(dim_names.back(), dim_sizes.back()).ok());
+  }
+  // Random variables over random dim subsets (contiguous prefixes keep the
+  // shapes simple).
+  const int nvars = static_cast<int>(rng.uniform_int(1, 5));
+  std::vector<std::vector<float>> payloads;
+  std::vector<std::string> var_names;
+  for (int v = 0; v < nvars; ++v) {
+    const int rank = static_cast<int>(rng.uniform_int(1, ndims));
+    std::vector<std::string> dims(dim_names.begin(), dim_names.begin() + rank);
+    var_names.push_back("var" + std::to_string(v));
+    ASSERT_TRUE(writer->def_var(var_names.back(), ncio::DType::kFloat32, dims).ok());
+    std::uint64_t count = 1;
+    for (int d = 0; d < rank; ++d) count *= dim_sizes[static_cast<std::size_t>(d)];
+    std::vector<float> payload(count);
+    for (auto& x : payload) x = static_cast<float>(rng.normal(0, 100));
+    payloads.push_back(std::move(payload));
+  }
+  // Random attributes.
+  ASSERT_TRUE(writer->put_attr("", "seed", static_cast<std::int64_t>(GetParam())).ok());
+  ASSERT_TRUE(writer->put_attr(var_names[0], "note", std::string("fuzz")).ok());
+  ASSERT_TRUE(writer->end_def().ok());
+  for (int v = 0; v < nvars; ++v) {
+    ASSERT_TRUE(writer
+                    ->put_var(var_names[static_cast<std::size_t>(v)],
+                              payloads[static_cast<std::size_t>(v)].data(),
+                              payloads[static_cast<std::size_t>(v)].size())
+                    .ok());
+  }
+  ASSERT_TRUE(writer->close().ok());
+
+  auto reader = ncio::FileReader::open(path);
+  ASSERT_TRUE(reader.ok());
+  for (int v = 0; v < nvars; ++v) {
+    auto values = reader->read_floats(var_names[static_cast<std::size_t>(v)]);
+    ASSERT_TRUE(values.ok());
+    EXPECT_EQ(*values, payloads[static_cast<std::size_t>(v)]);
+  }
+  // Random hyperslab of var0 equals the manual slice.
+  auto shape = reader->var_shape(var_names[0]);
+  ASSERT_TRUE(shape.ok());
+  std::vector<std::uint64_t> start(shape->size()), count(shape->size());
+  for (std::size_t d = 0; d < shape->size(); ++d) {
+    start[d] = static_cast<std::uint64_t>(rng.uniform_index((*shape)[d]));
+    count[d] = 1 + static_cast<std::uint64_t>(rng.uniform_index((*shape)[d] - start[d]));
+  }
+  auto slab = reader->read_slab(var_names[0], start, count);
+  ASSERT_TRUE(slab.ok());
+  // Verify against the full payload.
+  std::vector<std::uint64_t> strides(shape->size(), 1);
+  for (std::size_t d = shape->size(); d-- > 1;) strides[d - 1] = strides[d] * (*shape)[d];
+  std::vector<std::uint64_t> idx(shape->size(), 0);
+  std::size_t pos = 0;
+  while (true) {
+    std::uint64_t flat = 0;
+    for (std::size_t d = 0; d < shape->size(); ++d) flat += (start[d] + idx[d]) * strides[d];
+    ASSERT_FLOAT_EQ((*slab)[pos++], payloads[0][flat]);
+    std::size_t d = shape->size();
+    while (d-- > 0) {
+      if (++idx[d] < count[d]) break;
+      idx[d] = 0;
+      if (d == 0) goto done;
+    }
+    if (shape->empty()) break;
+  }
+done:
+  fs::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NcioFuzz, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// taskrt: random DAGs always execute respecting dependencies.
+// ---------------------------------------------------------------------------
+
+class DagProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagProperty, RandomDagExecutesInDependencyOrder) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+  taskrt::RuntimeOptions options;
+  options.workers = 1 + static_cast<std::size_t>(GetParam()) % 4;
+  taskrt::Runtime rt(options);
+
+  // Each task appends its id to a shared log; we later verify every
+  // dependency appears before its dependant.
+  std::mutex log_mutex;
+  std::vector<int> execution_order;
+
+  const int ntasks = 40;
+  std::vector<taskrt::DataHandle> outputs;
+  std::vector<std::vector<int>> deps_of(ntasks);
+  for (int t = 0; t < ntasks; ++t) {
+    std::vector<taskrt::Param> params;
+    // Depend on up to 3 random earlier tasks.
+    const int ndeps = static_cast<int>(rng.uniform_int(0, std::min(3, t)));
+    std::set<int> chosen;
+    for (int d = 0; d < ndeps; ++d) {
+      chosen.insert(static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(t))));
+    }
+    for (int dep : chosen) {
+      params.push_back(taskrt::In(outputs[static_cast<std::size_t>(dep)]));
+      deps_of[static_cast<std::size_t>(t)].push_back(dep);
+    }
+    taskrt::DataHandle out = rt.create_data();
+    outputs.push_back(out);
+    params.push_back(taskrt::Out(out));
+    const std::size_t out_index = params.size() - 1;
+    rt.submit("node", params, [t, out_index, &log_mutex, &execution_order](taskrt::TaskContext& ctx) {
+      {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        execution_order.push_back(t);
+      }
+      ctx.set_out(out_index, std::any(t));
+    });
+  }
+  rt.wait_all();
+
+  ASSERT_EQ(execution_order.size(), static_cast<std::size_t>(ntasks));
+  std::map<int, std::size_t> position;
+  for (std::size_t i = 0; i < execution_order.size(); ++i) position[execution_order[i]] = i;
+  for (int t = 0; t < ntasks; ++t) {
+    for (int dep : deps_of[static_cast<std::size_t>(t)]) {
+      EXPECT_LT(position[dep], position[t]) << "task " << t << " ran before its dependency " << dep;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagProperty, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// datacube: random operator pipelines match a dense reference.
+// ---------------------------------------------------------------------------
+
+class PipelineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineProperty, RandomPipelineMatchesDenseReference) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  datacube::Server server(1 + static_cast<std::size_t>(GetParam()) % 4);
+
+  const std::size_t rows = 6 + rng.uniform_index(10);
+  const std::size_t alen = 4 + rng.uniform_index(12);
+  std::vector<float> dense(rows * alen);
+  for (auto& v : dense) v = static_cast<float>(rng.uniform(-10, 10));
+  auto pid = server.create_cube("m", {{"row", rows, {}}}, {"t", alen, {}}, dense, "");
+  ASSERT_TRUE(pid.ok());
+
+  std::vector<float> reference = dense;
+  std::string current = *pid;
+  std::size_t current_alen = alen;
+
+  const int steps = static_cast<int>(rng.uniform_int(1, 4));
+  for (int s = 0; s < steps; ++s) {
+    switch (rng.uniform_index(3)) {
+      case 0: {  // scale + offset apply
+        const float scale = static_cast<float>(rng.uniform(0.5, 2.0));
+        auto next = server.apply(current, common::format("x * %g + 1", scale));
+        ASSERT_TRUE(next.ok());
+        current = *next;
+        for (auto& v : reference) v = v * scale + 1;
+        break;
+      }
+      case 1: {  // threshold mask
+        auto next = server.apply(current, "predicate(x, '>0', 1, 0)");
+        ASSERT_TRUE(next.ok());
+        current = *next;
+        for (auto& v : reference) v = v > 0 ? 1.0f : 0.0f;
+        break;
+      }
+      default: {  // subset of the implicit dim
+        if (current_alen < 2) continue;
+        const std::size_t lo = rng.uniform_index(current_alen - 1);
+        const std::size_t hi = lo + rng.uniform_index(current_alen - lo);
+        auto next = server.subset(current, "t", lo, hi);
+        ASSERT_TRUE(next.ok());
+        current = *next;
+        std::vector<float> sliced;
+        for (std::size_t r = 0; r < rows; ++r) {
+          for (std::size_t k = lo; k <= hi; ++k) sliced.push_back(reference[r * current_alen + k]);
+        }
+        reference = std::move(sliced);
+        current_alen = hi - lo + 1;
+        break;
+      }
+    }
+  }
+  auto final_values = server.fetch_dense(current);
+  ASSERT_TRUE(final_values.ok());
+  ASSERT_EQ(final_values->size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_NEAR((*final_values)[i], reference[i], 1e-4) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace climate

@@ -1,0 +1,90 @@
+// Unit tests for the Status/Result error-handling vocabulary and the logger.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "common/status.hpp"
+
+namespace climate::common {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kDataLoss); ++code) {
+    EXPECT_STRNE(status_code_name(static_cast<StatusCode>(code)), "UNKNOWN");
+  }
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Unavailable("x"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(Status::InvalidArgument("bad input"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(-1), -1);
+  EXPECT_THROW(result.value(), BadResultAccess);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ReturnIfErrorMacro, PropagatesFailures) {
+  auto inner = [](bool fail) -> Status {
+    return fail ? Status::Internal("inner") : Status::Ok();
+  };
+  auto outer = [&](bool fail) -> Status {
+    CLIMATE_RETURN_IF_ERROR(inner(fail));
+    return Status::Unavailable("after");
+  };
+  EXPECT_EQ(outer(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(outer(false).code(), StatusCode::kUnavailable);
+}
+
+TEST(Log, LevelNamesAndThreshold) {
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  LOG_ERROR("test") << "suppressed";  // must not crash while disabled
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace climate::common

@@ -1,0 +1,141 @@
+// Tests for the streaming interface: DataStream semantics and the
+// DirectoryWatcher used to detect completed simulation years.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "taskrt/stream.hpp"
+
+namespace climate::taskrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(DataStream, FifoOrder) {
+  DataStream stream;
+  for (int i = 0; i < 5; ++i) stream.publish(std::any(i));
+  stream.close();
+  for (int i = 0; i < 5; ++i) {
+    auto item = stream.next();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(std::any_cast<int>(*item), i);
+  }
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_TRUE(stream.finished());
+}
+
+TEST(DataStream, BlockingConsumerWakesOnPublish) {
+  DataStream stream;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stream.publish(std::any(std::string("payload")));
+    stream.close();
+  });
+  auto item = stream.next();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(std::any_cast<std::string>(*item), "payload");
+  producer.join();
+}
+
+TEST(DataStream, TryNextNonBlocking) {
+  DataStream stream;
+  EXPECT_FALSE(stream.try_next().has_value());
+  stream.publish(std::any(1));
+  EXPECT_TRUE(stream.try_next().has_value());
+  EXPECT_FALSE(stream.try_next().has_value());
+}
+
+TEST(DataStream, PublishAfterCloseThrows) {
+  DataStream stream;
+  stream.close();
+  EXPECT_THROW(stream.publish(std::any(1)), std::logic_error);
+}
+
+TEST(DataStream, Counters) {
+  DataStream stream;
+  stream.publish(std::any(1));
+  stream.publish(std::any(2));
+  EXPECT_EQ(stream.published(), 2u);
+  (void)stream.next();
+  EXPECT_EQ(stream.consumed(), 1u);
+}
+
+TEST(DataStream, MultipleConsumersDrainExactlyOnce) {
+  DataStream stream;
+  constexpr int kItems = 200;
+  for (int i = 0; i < kItems; ++i) stream.publish(std::any(i));
+  stream.close();
+  std::atomic<int> drained{0};
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 4; ++t) {
+    consumers.emplace_back([&] {
+      while (stream.next().has_value()) drained.fetch_add(1);
+    });
+  }
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(drained.load(), kItems);
+}
+
+class WatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("watch_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void touch(const std::string& name) {
+    std::ofstream out(dir_ / name);
+    out << "data";
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WatcherTest, ReportsExistingAndNewFilesOnce) {
+  touch("a.nc");
+  std::mutex mutex;
+  std::vector<std::string> seen;
+  DirectoryWatcher watcher(
+      dir_.string(), ".nc",
+      [&](const std::string& path) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.push_back(fs::path(path).filename().string());
+      },
+      std::chrono::milliseconds(2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  touch("b.nc");
+  touch("ignored.txt");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  watcher.stop();
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "a.nc");
+  EXPECT_EQ(seen[1], "b.nc");
+  EXPECT_EQ(watcher.seen(), 2u);
+}
+
+TEST_F(WatcherTest, FinalPollCatchesLateFiles) {
+  DirectoryWatcher watcher(
+      dir_.string(), ".nc", [&](const std::string&) {}, std::chrono::hours(1));
+  // The poll interval is huge; files appearing before stop() must still be
+  // delivered by the final round.
+  touch("late.nc");
+  watcher.stop();
+  EXPECT_EQ(watcher.seen(), 1u);
+}
+
+TEST_F(WatcherTest, EmptySuffixMatchesEverything) {
+  touch("x.bin");
+  DirectoryWatcher watcher(
+      dir_.string(), "", [&](const std::string&) {}, std::chrono::milliseconds(2));
+  watcher.stop();
+  EXPECT_EQ(watcher.seen(), 1u);
+}
+
+}  // namespace
+}  // namespace climate::taskrt

@@ -1,0 +1,262 @@
+// Fault-tolerance tests of the task runtime: the four failure policies
+// (fail / retry / ignore / cancel-successors) and task-level checkpointing
+// (paper section 4.2.1).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "taskrt/checkpoint.hpp"
+#include "taskrt/runtime.hpp"
+
+namespace climate::taskrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+taskrt::OutputCodec int_codec() {
+  OutputCodec codec;
+  codec.serialize = [](const std::any& value) {
+    return std::to_string(std::any_cast<int>(value));
+  };
+  codec.deserialize = [](const std::string& blob) -> std::any { return std::stoi(blob); };
+  return codec;
+}
+
+TEST(Failures, FailPolicyPropagatesToWaitAll) {
+  Runtime rt;
+  DataHandle out = rt.create_data();
+  rt.submit("boom", {Out(out)}, [](TaskContext&) { throw std::runtime_error("kaboom"); });
+  EXPECT_THROW(rt.wait_all(), WorkflowError);
+}
+
+TEST(Failures, FailPolicyPropagatesToSync) {
+  Runtime rt;
+  DataHandle out = rt.create_data();
+  rt.submit("boom", {Out(out)}, [](TaskContext&) { throw std::runtime_error("kaboom"); });
+  EXPECT_THROW(rt.sync(out), WorkflowError);
+}
+
+TEST(Failures, FailCancelsPendingTasks) {
+  Runtime rt;
+  DataHandle a = rt.create_data();
+  DataHandle b = rt.create_data();
+  const TaskId t1 = rt.submit("boom", {Out(a)}, [](TaskContext&) {
+    throw std::runtime_error("kaboom");
+  });
+  const TaskId t2 = rt.submit("dependent", {In(a), Out(b)}, [](TaskContext& ctx) {
+    ctx.set_out(1, std::any(1));
+  });
+  try {
+    rt.wait_all();
+    FAIL() << "expected WorkflowError";
+  } catch (const WorkflowError&) {
+  }
+  EXPECT_EQ(rt.task_state(t1), TaskState::kFailed);
+  EXPECT_EQ(rt.task_state(t2), TaskState::kCancelled);
+}
+
+TEST(Failures, SubmitAfterFatalFailureThrows) {
+  Runtime rt;
+  DataHandle a = rt.create_data();
+  rt.submit("boom", {Out(a)}, [](TaskContext&) { throw std::runtime_error("kaboom"); });
+  try {
+    rt.wait_all();
+  } catch (const WorkflowError&) {
+  }
+  DataHandle b = rt.create_data();
+  EXPECT_THROW(rt.submit("late", {Out(b)}, [](TaskContext&) {}), WorkflowError);
+}
+
+TEST(Failures, RetrySucceedsAfterTransientErrors) {
+  Runtime rt;
+  DataHandle out = rt.create_data();
+  std::atomic<int> attempts{0};
+  TaskOptions options;
+  options.on_failure = FailurePolicy::kRetry;
+  options.max_retries = 3;
+  rt.submit("flaky", options, {Out(out)}, [&](TaskContext& ctx) {
+    if (attempts.fetch_add(1) < 2) throw std::runtime_error("transient");
+    ctx.set_out(0, std::any(99));
+  });
+  EXPECT_EQ(rt.sync_as<int>(out), 99);
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(rt.stats().retries, 2u);
+}
+
+TEST(Failures, RetryExhaustionIsFatal) {
+  Runtime rt;
+  DataHandle out = rt.create_data();
+  TaskOptions options;
+  options.on_failure = FailurePolicy::kRetry;
+  options.max_retries = 2;
+  std::atomic<int> attempts{0};
+  rt.submit("hopeless", options, {Out(out)}, [&](TaskContext&) {
+    attempts.fetch_add(1);
+    throw std::runtime_error("permanent");
+  });
+  EXPECT_THROW(rt.wait_all(), WorkflowError);
+  EXPECT_EQ(attempts.load(), 3);  // initial + 2 retries
+}
+
+TEST(Failures, IgnorePolicyContinuesWithPreviousValue) {
+  Runtime rt;
+  DataHandle data = rt.create_data(std::any(5));
+  DataHandle result = rt.create_data();
+  TaskOptions options;
+  options.on_failure = FailurePolicy::kIgnore;
+  rt.submit("ignored_failure", options, {InOut(data)},
+            [](TaskContext&) { throw std::runtime_error("ignored"); });
+  rt.submit("consumer", {In(data), Out(result)},
+            [](TaskContext& ctx) { ctx.set_out(1, std::any(ctx.in_as<int>(0) * 2)); });
+  // Workflow continues; the failed writer's output falls back to version n-1.
+  EXPECT_EQ(rt.sync_as<int>(result), 10);
+  rt.wait_all();  // no throw
+  EXPECT_EQ(rt.stats().tasks_failed, 1u);
+  EXPECT_EQ(rt.stats().tasks_completed, 2u);
+}
+
+TEST(Failures, CancelSuccessorsLeavesSiblingsRunning) {
+  Runtime rt;
+  DataHandle bad = rt.create_data();
+  DataHandle good = rt.create_data();
+  DataHandle downstream_bad = rt.create_data();
+  TaskOptions options;
+  options.on_failure = FailurePolicy::kCancelSuccessors;
+  const TaskId bad_id = rt.submit("bad_branch", options, {Out(bad)},
+                                  [](TaskContext&) { throw std::runtime_error("branch dead"); });
+  const TaskId dep_id = rt.submit("bad_child", {In(bad), Out(downstream_bad)},
+                                  [](TaskContext& ctx) { ctx.set_out(1, std::any(1)); });
+  rt.submit("good_branch", {Out(good)},
+            [](TaskContext& ctx) { ctx.set_out(0, std::any(123)); });
+  EXPECT_EQ(rt.sync_as<int>(good), 123);
+  rt.wait_all();  // not fatal
+  EXPECT_EQ(rt.task_state(bad_id), TaskState::kFailed);
+  EXPECT_EQ(rt.task_state(dep_id), TaskState::kCancelled);
+  EXPECT_THROW(rt.sync(downstream_bad), WorkflowError);
+}
+
+TEST(Failures, SubmitOnCancelledDataCancelsNewTask) {
+  Runtime rt;
+  DataHandle bad = rt.create_data();
+  TaskOptions options;
+  options.on_failure = FailurePolicy::kCancelSuccessors;
+  rt.submit("bad", options, {Out(bad)}, [](TaskContext&) {
+    throw std::runtime_error("dead");
+  });
+  rt.wait_all();
+  DataHandle out = rt.create_data();
+  const TaskId late = rt.submit("late_child", {In(bad), Out(out)}, [](TaskContext& ctx) {
+    ctx.set_out(1, std::any(1));
+  });
+  rt.wait_all();
+  EXPECT_EQ(rt.task_state(late), TaskState::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / ("ckpt_" + std::to_string(::getpid()))).string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, StoreRoundTrip) {
+  CheckpointStore store(dir_);
+  EXPECT_FALSE(store.contains("k1"));
+  ASSERT_TRUE(store.save("k1", {"alpha", "beta"}).ok());
+  EXPECT_TRUE(store.contains("k1"));
+  auto loaded = store.load("k1");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_TRUE(store.clear().ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(CheckpointTest, SecondRunSkipsCheckpointedTask) {
+  std::atomic<int> executions{0};
+  auto run_workflow = [&]() -> int {
+    RuntimeOptions options;
+    options.checkpoint_dir = dir_;
+    Runtime rt(options);
+    DataHandle out = rt.create_data();
+    TaskOptions topts;
+    topts.checkpoint_key = "expensive-task";
+    topts.codec = int_codec();
+    rt.submit("expensive", topts, {Out(out)}, [&](TaskContext& ctx) {
+      executions.fetch_add(1);
+      ctx.set_out(0, std::any(77));
+    });
+    return rt.sync_as<int>(out);
+  };
+  EXPECT_EQ(run_workflow(), 77);
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(run_workflow(), 77);      // restored, not re-executed
+  EXPECT_EQ(executions.load(), 1);
+}
+
+TEST_F(CheckpointTest, RecoveryAfterMidWorkflowFailure) {
+  // First run: task A checkpoints, then B fails fatally. Second run: A is
+  // skipped, B succeeds.
+  std::atomic<int> a_runs{0};
+  std::atomic<bool> b_should_fail{true};
+  auto run_workflow = [&]() -> int {
+    RuntimeOptions options;
+    options.checkpoint_dir = dir_;
+    Runtime rt(options);
+    DataHandle mid = rt.create_data();
+    DataHandle out = rt.create_data();
+    TaskOptions a_opts;
+    a_opts.checkpoint_key = "stage-a";
+    a_opts.codec = int_codec();
+    rt.submit("stage_a", a_opts, {Out(mid)}, [&](TaskContext& ctx) {
+      a_runs.fetch_add(1);
+      ctx.set_out(0, std::any(10));
+    });
+    rt.submit("stage_b", {In(mid), Out(out)}, [&](TaskContext& ctx) {
+      if (b_should_fail.load()) throw std::runtime_error("power loss");
+      ctx.set_out(1, std::any(ctx.in_as<int>(0) + 1));
+    });
+    return rt.sync_as<int>(out);
+  };
+  EXPECT_THROW(run_workflow(), WorkflowError);
+  EXPECT_EQ(a_runs.load(), 1);
+  b_should_fail.store(false);
+  EXPECT_EQ(run_workflow(), 11);
+  EXPECT_EQ(a_runs.load(), 1);  // recovered from the last checkpointed task
+  CheckpointStore store(dir_);
+  EXPECT_TRUE(store.contains("stage-a"));
+}
+
+TEST_F(CheckpointTest, RuntimeCountsCheckpointRestores) {
+  RuntimeOptions options;
+  options.checkpoint_dir = dir_;
+  TaskOptions topts;
+  topts.checkpoint_key = "count-me";
+  topts.codec = int_codec();
+  {
+    Runtime rt(options);
+    DataHandle out = rt.create_data();
+    rt.submit("t", topts, {Out(out)}, [](TaskContext& ctx) { ctx.set_out(0, std::any(5)); });
+    rt.wait_all();
+    EXPECT_EQ(rt.stats().tasks_from_checkpoint, 0u);
+  }
+  {
+    Runtime rt(options);
+    DataHandle out = rt.create_data();
+    rt.submit("t", topts, {Out(out)}, [](TaskContext& ctx) { ctx.set_out(0, std::any(5)); });
+    rt.wait_all();
+    EXPECT_EQ(rt.stats().tasks_from_checkpoint, 1u);
+    EXPECT_EQ(rt.stats().tasks_executed, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace climate::taskrt

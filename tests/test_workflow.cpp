@@ -1,0 +1,308 @@
+// Integration tests of the end-to-end extreme-events workflow (the paper's
+// case study) at reduced scale: graph structure (Figure 3), result
+// correctness against direct computation, streaming vs staged equivalence,
+// checkpoint recovery, and HPCWaaS-driven execution.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/workflow.hpp"
+#include "esm/diagnostics.hpp"
+#include "esm/model.hpp"
+#include "esm/writer.hpp"
+#include "hpcwaas/service.hpp"
+
+namespace climate::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+WorkflowConfig small_config(const std::string& dir) {
+  WorkflowConfig config;
+  config.esm.nlat = 32;
+  config.esm.nlon = 64;
+  config.esm.days_per_year = 24;
+  config.esm.seed = 21;
+  config.years = 1;
+  config.output_dir = dir;
+  config.workers = 3;
+  config.io_servers = 2;
+  config.run_ml_tc = false;  // ML path exercised separately (needs weights)
+  config.tc_chunk_days = 12;
+  return config;
+}
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / ("wf_" + std::to_string(::getpid()) + "_" +
+                                         ::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(WorkflowTest, EndToEndSingleYear) {
+  WorkflowConfig config = small_config(dir_);
+  ExtremeEventsWorkflow workflow(config);
+  auto results = workflow.run();
+  ASSERT_TRUE(results.ok()) << results.status().to_string();
+
+  // Daily files of section 5.2: one per day with the full variable set.
+  std::size_t daily_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_ + "/daily")) {
+    if (entry.path().extension() == ".nc") ++daily_files;
+  }
+  EXPECT_EQ(daily_files, 24u);
+  EXPECT_GT(results->bytes_written, 0u);
+
+  // Index files + maps exported (steps 5-6).
+  ASSERT_EQ(results->years.size(), 1u);
+  const YearResults& year = results->years[0];
+  for (const std::string& path : year.exported_files) {
+    EXPECT_TRUE(fs::exists(path)) << path;
+  }
+  EXPECT_TRUE(fs::exists(year.map_file));
+  EXPECT_TRUE(fs::exists(results->final_map_file));
+
+  // Index fields are sane.
+  EXPECT_GE(year.heat.count.min(), 0.0f);
+  EXPECT_LE(year.heat.frequency.max(), 1.0f);
+  EXPECT_GE(year.heat.frequency.min(), 0.0f);
+
+  // The task graph contains every Figure-3 function family.
+  const auto counts = results->trace.counts_by_name();
+  for (const char* name :
+       {"load_forcing", "load_baseline_heat", "load_baseline_cold", "esm_simulation",
+        "year_ready", "load_tmax", "load_tmin", "heat_duration", "cold_duration",
+        "heat_index_max", "heat_index_number", "heat_index_frequency", "cold_index_max",
+        "cold_index_number", "cold_index_frequency", "tc_georeference",
+        "tc_deterministic_tracking", "validate_store", "render_year_map", "final_maps"}) {
+    EXPECT_TRUE(counts.count(name)) << "missing task type " << name;
+  }
+  EXPECT_EQ(counts.at("esm_simulation"), 1u);
+  EXPECT_GT(results->trace.edge_count(), 10u);
+  EXPECT_EQ(results->runtime_stats.tasks_failed, 0u);
+
+  // Summary JSON aggregates per-year validation records.
+  EXPECT_EQ(results->summary["years"].size(), 1u);
+  EXPECT_EQ(results->summary["years"][0].get_int("year"), 2015);
+}
+
+TEST_F(WorkflowTest, IndicesMatchDirectComputation) {
+  WorkflowConfig config = small_config(dir_);
+  ExtremeEventsWorkflow workflow(config);
+  auto results = workflow.run();
+  ASSERT_TRUE(results.ok());
+
+  // Recompute the heat indices directly from the daily files.
+  const common::LatLonGrid grid(config.esm.nlat, config.esm.nlon);
+  extremes::Baseline baseline = extremes::Baseline::analytic(
+      grid, config.esm.days_per_year, config.esm.steps_per_day, 0.0);
+  std::vector<common::Field> tasmax_days;
+  for (int d = 0; d < config.esm.days_per_year; ++d) {
+    auto field = esm::read_daily_field(
+        esm::daily_filename(dir_ + "/daily", config.esm.start_year, d), "tasmax");
+    ASSERT_TRUE(field.ok());
+    tasmax_days.push_back(std::move(*field));
+  }
+  const extremes::WaveIndices reference =
+      extremes::compute_wave_indices(tasmax_days, baseline, true);
+  const extremes::WaveIndices& workflow_result = results->years[0].heat;
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    ASSERT_FLOAT_EQ(workflow_result.duration_max[c], reference.duration_max[c]) << c;
+    ASSERT_FLOAT_EQ(workflow_result.count[c], reference.count[c]) << c;
+    ASSERT_NEAR(workflow_result.frequency[c], reference.frequency[c], 1e-5) << c;
+  }
+}
+
+TEST_F(WorkflowTest, StreamingAndStagedAgree) {
+  WorkflowConfig config = small_config(dir_ + "/streaming");
+  config.streaming = true;
+  auto streaming = ExtremeEventsWorkflow(config).run();
+  ASSERT_TRUE(streaming.ok());
+
+  WorkflowConfig staged_config = small_config(dir_ + "/staged");
+  staged_config.streaming = false;
+  auto staged = ExtremeEventsWorkflow(staged_config).run();
+  ASSERT_TRUE(staged.ok());
+
+  const auto& a = streaming->years[0].heat;
+  const auto& b = staged->years[0].heat;
+  for (std::size_t c = 0; c < a.count.size(); ++c) {
+    ASSERT_FLOAT_EQ(a.count[c], b.count[c]);
+    ASSERT_FLOAT_EQ(a.duration_max[c], b.duration_max[c]);
+  }
+  EXPECT_EQ(streaming->years[0].tracks.size(), staged->years[0].tracks.size());
+}
+
+TEST_F(WorkflowTest, MultiYearRun) {
+  WorkflowConfig config = small_config(dir_);
+  config.years = 2;
+  config.esm.days_per_year = 16;
+  auto results = ExtremeEventsWorkflow(config).run();
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->years.size(), 2u);
+  EXPECT_EQ(results->years[0].year, 2015);
+  EXPECT_EQ(results->years[1].year, 2016);
+  const auto counts = results->trace.counts_by_name();
+  EXPECT_EQ(counts.at("esm_simulation"), 2u);
+  EXPECT_EQ(counts.at("load_tmax"), 2u);
+  EXPECT_EQ(counts.at("heat_index_max"), 2u);
+  // Baselines loaded once, reused across years (section 5.3).
+  EXPECT_EQ(counts.at("load_baseline_heat"), 1u);
+}
+
+TEST_F(WorkflowTest, MlPipelineRunsWithPretrainedWeights) {
+  WorkflowConfig config = small_config(dir_);
+  config.esm.nlat = 64;   // inference grid = 32x64 -> 2x4 patches of 16
+  config.esm.nlon = 128;
+  config.esm.days_per_year = 12;
+  config.esm.tc_spawn_per_day = 1.2;
+  const std::string weights = dir_ + "/tc_weights.bin";
+  fs::create_directories(dir_);
+  auto loss = pretrain_tc_localizer(config.esm, weights, 16, /*epochs=*/6, /*train_days=*/25);
+  ASSERT_TRUE(loss.ok()) << loss.status().to_string();
+  EXPECT_TRUE(fs::exists(weights));
+
+  config.run_ml_tc = true;
+  config.tc_weights_path = weights;
+  config.tc_chunk_days = 6;
+  auto results = ExtremeEventsWorkflow(config).run();
+  ASSERT_TRUE(results.ok()) << results.status().to_string();
+  const auto counts = results->trace.counts_by_name();
+  EXPECT_EQ(counts.at("tc_preprocess"), 2u);  // 12 days / 6-day chunks
+  EXPECT_EQ(counts.at("tc_inference"), 2u);
+  EXPECT_EQ(counts.at("tc_georeference"), 1u);
+  // The skill record exists (values depend on the short training).
+  EXPECT_GE(results->years[0].ml_skill.pod(), 0.0);
+}
+
+TEST_F(WorkflowTest, CheckpointRecoverySkipsAnalysis) {
+  WorkflowConfig config = small_config(dir_);
+  config.checkpoint_dir = dir_ + "/ckpt";
+  auto first = ExtremeEventsWorkflow(config).run();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->runtime_stats.tasks_from_checkpoint, 0u);
+
+  // Re-run with the same checkpoint dir: analysis tasks restore.
+  auto second = ExtremeEventsWorkflow(config).run();
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->runtime_stats.tasks_from_checkpoint, 5u);
+  // Results identical.
+  for (std::size_t c = 0; c < first->years[0].heat.count.size(); ++c) {
+    ASSERT_FLOAT_EQ(first->years[0].heat.count[c], second->years[0].heat.count[c]);
+  }
+}
+
+TEST_F(WorkflowTest, MissingOutputDirRejected) {
+  WorkflowConfig config;
+  EXPECT_FALSE(ExtremeEventsWorkflow(config).run().ok());
+}
+
+TEST_F(WorkflowTest, RunsThroughHpcWaas) {
+  // Figure 1 end to end: deploy the topology, invoke through the REST-style
+  // API, poll until the workflow (running as a batch job) finishes.
+  hpcwaas::HpcWaasService service;
+  hpcwaas::DataPipeline pipeline;
+  pipeline.name = "forcing_stage_in";
+  service.dls().register_pipeline(pipeline);
+
+  const std::string dir = dir_;
+  auto workflow_id = service.deploy_workflow(
+      case_study_topology_yaml(), [dir](const common::Json& params) {
+        WorkflowConfig config = small_config(dir + "/run");
+        config.years = static_cast<int>(params.get_number("years", 1));
+        auto results = ExtremeEventsWorkflow(config).run();
+        if (!results.ok()) throw std::runtime_error(results.status().to_string());
+        common::Json out = common::Json::object();
+        out["years"] = results->years.size();
+        out["tasks"] = results->trace.tasks().size();
+        out["makespan_ms"] = results->makespan_ms;
+        return out;
+      });
+  ASSERT_TRUE(workflow_id.ok()) << workflow_id.status().to_string();
+
+  common::Json params = common::Json::object();
+  params["years"] = 1;
+  auto exec = service.invoke(*workflow_id, params);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(service.wait(*exec).ok());
+  auto record = service.execution(*exec);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->state, hpcwaas::ExecutionState::kSucceeded);
+  EXPECT_EQ(record->result.get_int("years"), 1);
+  EXPECT_GT(record->result.get_int("tasks"), 15);
+}
+
+TEST(WorkflowStatics, TopologyYamlParses) {
+  EXPECT_FALSE(case_study_topology_yaml().empty());
+}
+
+}  // namespace
+}  // namespace climate::core
+
+namespace climate::core {
+namespace {
+
+TEST_F(WorkflowTest, HeterogeneousPlacementRespectsNodeClasses) {
+  WorkflowConfig config = small_config(dir_);
+  config.heterogeneous = true;
+  config.hpc_nodes = 1;
+  config.data_nodes = 2;
+  config.gpu_nodes = 1;
+  auto results = ExtremeEventsWorkflow(config).run();
+  ASSERT_TRUE(results.ok()) << results.status().to_string();
+
+  // Node indices: [0] hpc, [1..2] data, [3] gpu (gpu is also data-capable).
+  for (const auto& task : results->trace.tasks()) {
+    if (task.node < 0) continue;
+    if (task.name == "esm_simulation") {
+      EXPECT_EQ(task.node, 0) << task.name;
+    } else if (task.name == "load_tmax" || task.name == "heat_duration" ||
+               task.name == "validate_store" || task.name == "tc_deterministic_tracking") {
+      EXPECT_GE(task.node, 1) << task.name;  // never on the hpc node
+    }
+  }
+  EXPECT_EQ(results->runtime_stats.tasks_failed, 0u);
+}
+
+TEST_F(WorkflowTest, OnlineDiagnosticsWritten) {
+  WorkflowConfig config = small_config(dir_);
+  config.online_diagnostics = true;
+  auto results = ExtremeEventsWorkflow(config).run();
+  ASSERT_TRUE(results.ok()) << results.status().to_string();
+  const std::string diag_path = dir_ + "/diagnostics/diagnostics_2015.nc";
+  ASSERT_TRUE(fs::exists(diag_path));
+  auto rows = esm::DiagnosticsRecorder::load(diag_path);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), static_cast<std::size_t>(config.esm.days_per_year));
+  for (const auto& row : *rows) {
+    EXPECT_GT(row.global_mean_pr_mmday, 0.0);
+    EXPECT_LT(row.min_psl_hpa, 1013.0);
+  }
+}
+
+TEST_F(WorkflowTest, ContainerizedRunMatchesBareMetalResults) {
+  WorkflowConfig bare = small_config(dir_ + "/bare");
+  auto bare_results = ExtremeEventsWorkflow(bare).run();
+  ASSERT_TRUE(bare_results.ok());
+
+  WorkflowConfig contained = small_config(dir_ + "/contained");
+  contained.container_startup_ms = 2.0;
+  auto contained_results = ExtremeEventsWorkflow(contained).run();
+  ASSERT_TRUE(contained_results.ok());
+
+  // Identical science either way.
+  for (std::size_t c = 0; c < bare_results->years[0].heat.count.size(); ++c) {
+    ASSERT_FLOAT_EQ(bare_results->years[0].heat.count[c],
+                    contained_results->years[0].heat.count[c]);
+  }
+}
+
+}  // namespace
+}  // namespace climate::core
