@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_heterogeneous.dir/bench_a1_heterogeneous.cpp.o"
+  "CMakeFiles/bench_a1_heterogeneous.dir/bench_a1_heterogeneous.cpp.o.d"
+  "bench_a1_heterogeneous"
+  "bench_a1_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

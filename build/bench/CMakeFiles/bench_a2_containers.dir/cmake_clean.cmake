@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_containers.dir/bench_a2_containers.cpp.o"
+  "CMakeFiles/bench_a2_containers.dir/bench_a2_containers.cpp.o.d"
+  "bench_a2_containers"
+  "bench_a2_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

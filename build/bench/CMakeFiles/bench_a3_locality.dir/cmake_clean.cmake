@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_locality.dir/bench_a3_locality.cpp.o"
+  "CMakeFiles/bench_a3_locality.dir/bench_a3_locality.cpp.o.d"
+  "bench_a3_locality"
+  "bench_a3_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_warming_trend.dir/bench_a4_warming_trend.cpp.o"
+  "CMakeFiles/bench_a4_warming_trend.dir/bench_a4_warming_trend.cpp.o.d"
+  "bench_a4_warming_trend"
+  "bench_a4_warming_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_warming_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

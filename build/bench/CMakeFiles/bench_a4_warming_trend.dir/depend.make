@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a4_warming_trend.
+# This may be replaced when dependencies are built.

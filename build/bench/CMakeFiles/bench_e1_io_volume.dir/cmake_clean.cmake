@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_io_volume.dir/bench_e1_io_volume.cpp.o"
+  "CMakeFiles/bench_e1_io_volume.dir/bench_e1_io_volume.cpp.o.d"
+  "bench_e1_io_volume"
+  "bench_e1_io_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_io_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

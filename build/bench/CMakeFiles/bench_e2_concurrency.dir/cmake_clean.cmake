@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_concurrency.dir/bench_e2_concurrency.cpp.o"
+  "CMakeFiles/bench_e2_concurrency.dir/bench_e2_concurrency.cpp.o.d"
+  "bench_e2_concurrency"
+  "bench_e2_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_inmemory.dir/bench_e3_inmemory.cpp.o"
+  "CMakeFiles/bench_e3_inmemory.dir/bench_e3_inmemory.cpp.o.d"
+  "bench_e3_inmemory"
+  "bench_e3_inmemory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_inmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

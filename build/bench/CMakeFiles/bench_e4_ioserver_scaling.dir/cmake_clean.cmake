@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_ioserver_scaling.dir/bench_e4_ioserver_scaling.cpp.o"
+  "CMakeFiles/bench_e4_ioserver_scaling.dir/bench_e4_ioserver_scaling.cpp.o.d"
+  "bench_e4_ioserver_scaling"
+  "bench_e4_ioserver_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_ioserver_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_tc_detection.dir/bench_e5_tc_detection.cpp.o"
+  "CMakeFiles/bench_e5_tc_detection.dir/bench_e5_tc_detection.cpp.o.d"
+  "bench_e5_tc_detection"
+  "bench_e5_tc_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_tc_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

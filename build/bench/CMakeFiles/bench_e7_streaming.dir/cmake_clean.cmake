@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_streaming.dir/bench_e7_streaming.cpp.o"
+  "CMakeFiles/bench_e7_streaming.dir/bench_e7_streaming.cpp.o.d"
+  "bench_e7_streaming"
+  "bench_e7_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_hpcwaas.dir/bench_fig1_hpcwaas.cpp.o"
+  "CMakeFiles/bench_fig1_hpcwaas.dir/bench_fig1_hpcwaas.cpp.o.d"
+  "bench_fig1_hpcwaas"
+  "bench_fig1_hpcwaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hpcwaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

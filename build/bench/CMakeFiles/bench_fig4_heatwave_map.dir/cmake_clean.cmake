@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_heatwave_map.dir/bench_fig4_heatwave_map.cpp.o"
+  "CMakeFiles/bench_fig4_heatwave_map.dir/bench_fig4_heatwave_map.cpp.o.d"
+  "bench_fig4_heatwave_map"
+  "bench_fig4_heatwave_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_heatwave_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

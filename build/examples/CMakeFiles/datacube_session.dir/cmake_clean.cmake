@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_session.dir/datacube_session.cpp.o"
+  "CMakeFiles/datacube_session.dir/datacube_session.cpp.o.d"
+  "datacube_session"
+  "datacube_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

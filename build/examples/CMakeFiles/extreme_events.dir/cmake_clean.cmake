@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extreme_events.dir/extreme_events.cpp.o"
+  "CMakeFiles/extreme_events.dir/extreme_events.cpp.o.d"
+  "extreme_events"
+  "extreme_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extreme_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcwaas_deploy.dir/hpcwaas_deploy.cpp.o"
+  "CMakeFiles/hpcwaas_deploy.dir/hpcwaas_deploy.cpp.o.d"
+  "hpcwaas_deploy"
+  "hpcwaas_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcwaas_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

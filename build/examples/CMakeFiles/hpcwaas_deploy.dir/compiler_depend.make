@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpcwaas_deploy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcwaas_deploy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_esm.dir/parallel_esm.cpp.o"
+  "CMakeFiles/parallel_esm.dir/parallel_esm.cpp.o.d"
+  "parallel_esm"
+  "parallel_esm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_esm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

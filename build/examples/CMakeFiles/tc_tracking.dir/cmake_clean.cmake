@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_tracking.dir/tc_tracking.cpp.o"
+  "CMakeFiles/tc_tracking.dir/tc_tracking.cpp.o.d"
+  "tc_tracking"
+  "tc_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_common.dir/grid.cpp.o"
+  "CMakeFiles/climate_common.dir/grid.cpp.o.d"
+  "CMakeFiles/climate_common.dir/image.cpp.o"
+  "CMakeFiles/climate_common.dir/image.cpp.o.d"
+  "CMakeFiles/climate_common.dir/json.cpp.o"
+  "CMakeFiles/climate_common.dir/json.cpp.o.d"
+  "CMakeFiles/climate_common.dir/log.cpp.o"
+  "CMakeFiles/climate_common.dir/log.cpp.o.d"
+  "CMakeFiles/climate_common.dir/stats.cpp.o"
+  "CMakeFiles/climate_common.dir/stats.cpp.o.d"
+  "CMakeFiles/climate_common.dir/strings.cpp.o"
+  "CMakeFiles/climate_common.dir/strings.cpp.o.d"
+  "CMakeFiles/climate_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/climate_common.dir/thread_pool.cpp.o.d"
+  "libclimate_common.a"
+  "libclimate_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

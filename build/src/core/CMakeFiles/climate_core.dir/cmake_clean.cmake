@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_core.dir/workflow.cpp.o"
+  "CMakeFiles/climate_core.dir/workflow.cpp.o.d"
+  "libclimate_core.a"
+  "libclimate_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacube/client.cpp" "src/datacube/CMakeFiles/climate_datacube.dir/client.cpp.o" "gcc" "src/datacube/CMakeFiles/climate_datacube.dir/client.cpp.o.d"
+  "/root/repo/src/datacube/cube.cpp" "src/datacube/CMakeFiles/climate_datacube.dir/cube.cpp.o" "gcc" "src/datacube/CMakeFiles/climate_datacube.dir/cube.cpp.o.d"
+  "/root/repo/src/datacube/expression.cpp" "src/datacube/CMakeFiles/climate_datacube.dir/expression.cpp.o" "gcc" "src/datacube/CMakeFiles/climate_datacube.dir/expression.cpp.o.d"
+  "/root/repo/src/datacube/server.cpp" "src/datacube/CMakeFiles/climate_datacube.dir/server.cpp.o" "gcc" "src/datacube/CMakeFiles/climate_datacube.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/climate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncio/CMakeFiles/climate_ncio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_datacube.dir/client.cpp.o"
+  "CMakeFiles/climate_datacube.dir/client.cpp.o.d"
+  "CMakeFiles/climate_datacube.dir/cube.cpp.o"
+  "CMakeFiles/climate_datacube.dir/cube.cpp.o.d"
+  "CMakeFiles/climate_datacube.dir/expression.cpp.o"
+  "CMakeFiles/climate_datacube.dir/expression.cpp.o.d"
+  "CMakeFiles/climate_datacube.dir/server.cpp.o"
+  "CMakeFiles/climate_datacube.dir/server.cpp.o.d"
+  "libclimate_datacube.a"
+  "libclimate_datacube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_datacube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esm/climatology.cpp" "src/esm/CMakeFiles/climate_esm.dir/climatology.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/climatology.cpp.o.d"
+  "/root/repo/src/esm/cyclones.cpp" "src/esm/CMakeFiles/climate_esm.dir/cyclones.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/cyclones.cpp.o.d"
+  "/root/repo/src/esm/diagnostics.cpp" "src/esm/CMakeFiles/climate_esm.dir/diagnostics.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/esm/ensemble.cpp" "src/esm/CMakeFiles/climate_esm.dir/ensemble.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/ensemble.cpp.o.d"
+  "/root/repo/src/esm/events.cpp" "src/esm/CMakeFiles/climate_esm.dir/events.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/events.cpp.o.d"
+  "/root/repo/src/esm/forcing.cpp" "src/esm/CMakeFiles/climate_esm.dir/forcing.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/forcing.cpp.o.d"
+  "/root/repo/src/esm/model.cpp" "src/esm/CMakeFiles/climate_esm.dir/model.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/model.cpp.o.d"
+  "/root/repo/src/esm/parallel.cpp" "src/esm/CMakeFiles/climate_esm.dir/parallel.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/parallel.cpp.o.d"
+  "/root/repo/src/esm/writer.cpp" "src/esm/CMakeFiles/climate_esm.dir/writer.cpp.o" "gcc" "src/esm/CMakeFiles/climate_esm.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/climate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncio/CMakeFiles/climate_ncio.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/climate_msg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_esm.dir/climatology.cpp.o"
+  "CMakeFiles/climate_esm.dir/climatology.cpp.o.d"
+  "CMakeFiles/climate_esm.dir/cyclones.cpp.o"
+  "CMakeFiles/climate_esm.dir/cyclones.cpp.o.d"
+  "CMakeFiles/climate_esm.dir/diagnostics.cpp.o"
+  "CMakeFiles/climate_esm.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/climate_esm.dir/ensemble.cpp.o"
+  "CMakeFiles/climate_esm.dir/ensemble.cpp.o.d"
+  "CMakeFiles/climate_esm.dir/events.cpp.o"
+  "CMakeFiles/climate_esm.dir/events.cpp.o.d"
+  "CMakeFiles/climate_esm.dir/forcing.cpp.o"
+  "CMakeFiles/climate_esm.dir/forcing.cpp.o.d"
+  "CMakeFiles/climate_esm.dir/model.cpp.o"
+  "CMakeFiles/climate_esm.dir/model.cpp.o.d"
+  "CMakeFiles/climate_esm.dir/parallel.cpp.o"
+  "CMakeFiles/climate_esm.dir/parallel.cpp.o.d"
+  "CMakeFiles/climate_esm.dir/writer.cpp.o"
+  "CMakeFiles/climate_esm.dir/writer.cpp.o.d"
+  "libclimate_esm.a"
+  "libclimate_esm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_esm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_extremes.dir/heatwaves.cpp.o"
+  "CMakeFiles/climate_extremes.dir/heatwaves.cpp.o.d"
+  "CMakeFiles/climate_extremes.dir/skill.cpp.o"
+  "CMakeFiles/climate_extremes.dir/skill.cpp.o.d"
+  "CMakeFiles/climate_extremes.dir/tc_tracker.cpp.o"
+  "CMakeFiles/climate_extremes.dir/tc_tracker.cpp.o.d"
+  "libclimate_extremes.a"
+  "libclimate_extremes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpcwaas/batch.cpp" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/batch.cpp.o" "gcc" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/batch.cpp.o.d"
+  "/root/repo/src/hpcwaas/containers.cpp" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/containers.cpp.o" "gcc" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/containers.cpp.o.d"
+  "/root/repo/src/hpcwaas/dls.cpp" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/dls.cpp.o" "gcc" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/dls.cpp.o.d"
+  "/root/repo/src/hpcwaas/orchestrator.cpp" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/orchestrator.cpp.o" "gcc" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/hpcwaas/service.cpp" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/service.cpp.o" "gcc" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/service.cpp.o.d"
+  "/root/repo/src/hpcwaas/tosca.cpp" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/tosca.cpp.o" "gcc" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/tosca.cpp.o.d"
+  "/root/repo/src/hpcwaas/yaml.cpp" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/yaml.cpp.o" "gcc" "src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/yaml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/climate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

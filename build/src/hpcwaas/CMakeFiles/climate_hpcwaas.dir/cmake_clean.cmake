@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_hpcwaas.dir/batch.cpp.o"
+  "CMakeFiles/climate_hpcwaas.dir/batch.cpp.o.d"
+  "CMakeFiles/climate_hpcwaas.dir/containers.cpp.o"
+  "CMakeFiles/climate_hpcwaas.dir/containers.cpp.o.d"
+  "CMakeFiles/climate_hpcwaas.dir/dls.cpp.o"
+  "CMakeFiles/climate_hpcwaas.dir/dls.cpp.o.d"
+  "CMakeFiles/climate_hpcwaas.dir/orchestrator.cpp.o"
+  "CMakeFiles/climate_hpcwaas.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/climate_hpcwaas.dir/service.cpp.o"
+  "CMakeFiles/climate_hpcwaas.dir/service.cpp.o.d"
+  "CMakeFiles/climate_hpcwaas.dir/tosca.cpp.o"
+  "CMakeFiles/climate_hpcwaas.dir/tosca.cpp.o.d"
+  "CMakeFiles/climate_hpcwaas.dir/yaml.cpp.o"
+  "CMakeFiles/climate_hpcwaas.dir/yaml.cpp.o.d"
+  "libclimate_hpcwaas.a"
+  "libclimate_hpcwaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_hpcwaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

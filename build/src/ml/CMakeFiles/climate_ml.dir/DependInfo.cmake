@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/layers.cpp" "src/ml/CMakeFiles/climate_ml.dir/layers.cpp.o" "gcc" "src/ml/CMakeFiles/climate_ml.dir/layers.cpp.o.d"
+  "/root/repo/src/ml/network.cpp" "src/ml/CMakeFiles/climate_ml.dir/network.cpp.o" "gcc" "src/ml/CMakeFiles/climate_ml.dir/network.cpp.o.d"
+  "/root/repo/src/ml/tc_pipeline.cpp" "src/ml/CMakeFiles/climate_ml.dir/tc_pipeline.cpp.o" "gcc" "src/ml/CMakeFiles/climate_ml.dir/tc_pipeline.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/ml/CMakeFiles/climate_ml.dir/tensor.cpp.o" "gcc" "src/ml/CMakeFiles/climate_ml.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/climate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_ml.dir/layers.cpp.o"
+  "CMakeFiles/climate_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/climate_ml.dir/network.cpp.o"
+  "CMakeFiles/climate_ml.dir/network.cpp.o.d"
+  "CMakeFiles/climate_ml.dir/tc_pipeline.cpp.o"
+  "CMakeFiles/climate_ml.dir/tc_pipeline.cpp.o.d"
+  "CMakeFiles/climate_ml.dir/tensor.cpp.o"
+  "CMakeFiles/climate_ml.dir/tensor.cpp.o.d"
+  "libclimate_ml.a"
+  "libclimate_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

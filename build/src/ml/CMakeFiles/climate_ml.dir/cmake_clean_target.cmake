@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclimate_ml.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_msg.dir/communicator.cpp.o"
+  "CMakeFiles/climate_msg.dir/communicator.cpp.o.d"
+  "libclimate_msg.a"
+  "libclimate_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_ncio.dir/ncfile.cpp.o"
+  "CMakeFiles/climate_ncio.dir/ncfile.cpp.o.d"
+  "libclimate_ncio.a"
+  "libclimate_ncio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_ncio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskrt/checkpoint.cpp" "src/taskrt/CMakeFiles/climate_taskrt.dir/checkpoint.cpp.o" "gcc" "src/taskrt/CMakeFiles/climate_taskrt.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/taskrt/runtime.cpp" "src/taskrt/CMakeFiles/climate_taskrt.dir/runtime.cpp.o" "gcc" "src/taskrt/CMakeFiles/climate_taskrt.dir/runtime.cpp.o.d"
+  "/root/repo/src/taskrt/stream.cpp" "src/taskrt/CMakeFiles/climate_taskrt.dir/stream.cpp.o" "gcc" "src/taskrt/CMakeFiles/climate_taskrt.dir/stream.cpp.o.d"
+  "/root/repo/src/taskrt/trace.cpp" "src/taskrt/CMakeFiles/climate_taskrt.dir/trace.cpp.o" "gcc" "src/taskrt/CMakeFiles/climate_taskrt.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/climate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_taskrt.dir/checkpoint.cpp.o"
+  "CMakeFiles/climate_taskrt.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/climate_taskrt.dir/runtime.cpp.o"
+  "CMakeFiles/climate_taskrt.dir/runtime.cpp.o.d"
+  "CMakeFiles/climate_taskrt.dir/stream.cpp.o"
+  "CMakeFiles/climate_taskrt.dir/stream.cpp.o.d"
+  "CMakeFiles/climate_taskrt.dir/trace.cpp.o"
+  "CMakeFiles/climate_taskrt.dir/trace.cpp.o.d"
+  "libclimate_taskrt.a"
+  "libclimate_taskrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_taskrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datacube.dir/test_datacube.cpp.o"
+  "CMakeFiles/test_datacube.dir/test_datacube.cpp.o.d"
+  "test_datacube"
+  "test_datacube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datacube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esm.dir/test_esm.cpp.o"
+  "CMakeFiles/test_esm.dir/test_esm.cpp.o.d"
+  "test_esm"
+  "test_esm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extremes.dir/test_extremes.cpp.o"
+  "CMakeFiles/test_extremes.dir/test_extremes.cpp.o.d"
+  "test_extremes"
+  "test_extremes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

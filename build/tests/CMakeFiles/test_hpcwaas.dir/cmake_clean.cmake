@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpcwaas.dir/test_hpcwaas.cpp.o"
+  "CMakeFiles/test_hpcwaas.dir/test_hpcwaas.cpp.o.d"
+  "test_hpcwaas"
+  "test_hpcwaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpcwaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

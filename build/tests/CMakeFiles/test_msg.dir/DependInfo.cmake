@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_msg.cpp" "tests/CMakeFiles/test_msg.dir/test_msg.cpp.o" "gcc" "tests/CMakeFiles/test_msg.dir/test_msg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/climate_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcwaas/CMakeFiles/climate_hpcwaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/extremes/CMakeFiles/climate_extremes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/climate_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/esm/CMakeFiles/climate_esm.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacube/CMakeFiles/climate_datacube.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskrt/CMakeFiles/climate_taskrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncio/CMakeFiles/climate_ncio.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/climate_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/climate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ncio.dir/test_ncio.cpp.o"
+  "CMakeFiles/test_ncio.dir/test_ncio.cpp.o.d"
+  "test_ncio"
+  "test_ncio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ncio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

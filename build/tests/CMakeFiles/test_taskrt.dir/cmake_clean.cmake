@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskrt.dir/test_taskrt.cpp.o"
+  "CMakeFiles/test_taskrt.dir/test_taskrt.cpp.o.d"
+  "test_taskrt"
+  "test_taskrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_taskrt.
+# This may be replaced when dependencies are built.

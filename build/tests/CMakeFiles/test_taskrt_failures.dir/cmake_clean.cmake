@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskrt_failures.dir/test_taskrt_failures.cpp.o"
+  "CMakeFiles/test_taskrt_failures.dir/test_taskrt_failures.cpp.o.d"
+  "test_taskrt_failures"
+  "test_taskrt_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskrt_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
