@@ -16,7 +16,9 @@
 #include <filesystem>
 
 #include "core/workflow.hpp"
+#include "obs/obs.hpp"
 #include "taskrt/stream.hpp"
+#include "taskrt/trace.hpp"
 
 namespace {
 
@@ -81,6 +83,44 @@ void print_comparison() {
               "way (asserted in tests/test_workflow.cpp).\n\n");
 }
 
+// Runs one ML-enabled streaming configuration with a clean span buffer and
+// writes the merged Chrome trace (cross-layer spans + the taskrt node
+// tracks) for Perfetto, plus the Prometheus snapshot of the run's metrics.
+void emit_merged_trace() {
+  namespace obs = climate::obs;
+  const std::string base = "/tmp/bench_e2_trace";
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+
+  const std::string weights = base + "/tc_weights.bin";
+  WorkflowConfig config = concurrency_config(base + "/run", true, 4);
+  auto loss = climate::core::pretrain_tc_localizer(config.esm, weights, 16, /*epochs=*/4,
+                                                   /*train_days=*/20);
+  if (!loss.ok()) {
+    std::printf("trace run: pretraining failed: %s\n", loss.status().to_string().c_str());
+    return;
+  }
+  config.run_ml_tc = true;
+  config.tc_weights_path = weights;
+
+  obs::SpanCollector::global().clear();
+  obs::MetricsRegistry::global().reset();
+  auto results = ExtremeEventsWorkflow(config).run();
+  if (!results.ok()) {
+    std::printf("trace run failed: %s\n", results.status().to_string().c_str());
+    return;
+  }
+
+  const std::string trace_path = "/tmp/bench_e2_trace.perfetto.json";
+  const std::string prom_path = "/tmp/bench_e2_metrics.prom";
+  obs::write_text_file(trace_path,
+                       obs::chrome_trace_json(obs::SpanCollector::global().snapshot(),
+                                              climate::taskrt::to_obs_track_events(results->trace)));
+  obs::write_text_file(prom_path, obs::prometheus_text(obs::MetricsRegistry::global().snapshot()));
+  std::printf("merged Perfetto trace (spans + taskrt node tracks): %s\n", trace_path.c_str());
+  std::printf("Prometheus metrics snapshot:                        %s\n\n", prom_path.c_str());
+}
+
 void BM_StreamingDetectionLoop(benchmark::State& state) {
   // Cost of the year-completion bookkeeping itself: publish/consume events.
   for (auto _ : state) {
@@ -99,6 +139,7 @@ BENCHMARK(BM_StreamingDetectionLoop);
 
 int main(int argc, char** argv) {
   print_comparison();
+  emit_merged_trace();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,6 +18,7 @@
 
 #include "common/thread_pool.hpp"
 #include "datacube/server.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -34,7 +35,21 @@ std::string make_year_cube(dc::Server& server) {
   return *server.create_cube("tasmax", {{"cell", rows, {}}}, {"day", days, {}}, dense, "");
 }
 
+// Writes the Perfetto trace of the in-memory operator pipeline (the datacube
+// spans recorded during print_scaling) plus the Prometheus metric snapshot.
+void emit_trace_artifacts() {
+  namespace obs = climate::obs;
+  const std::string trace_path = "/tmp/bench_e4_trace.perfetto.json";
+  const std::string prom_path = "/tmp/bench_e4_metrics.prom";
+  obs::write_text_file(trace_path, obs::chrome_trace_json(obs::SpanCollector::global().snapshot()));
+  obs::write_text_file(prom_path, obs::prometheus_text(obs::MetricsRegistry::global().snapshot()));
+  std::printf("Perfetto trace of the operator pipeline: %s\n", trace_path.c_str());
+  std::printf("Prometheus metrics snapshot:             %s\n\n", prom_path.c_str());
+}
+
 void print_scaling() {
+  climate::obs::SpanCollector::global().clear();
+  climate::obs::MetricsRegistry::global().reset();
   std::printf("=== E4: datacube throughput vs number of I/O servers ===\n");
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("host has %u hardware core(s)\n\n", cores);
@@ -97,6 +112,7 @@ BENCHMARK(BM_ReduceByServers)->Arg(1)->Arg(2)->Arg(4);
 
 int main(int argc, char** argv) {
   print_scaling();
+  emit_trace_artifacts();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Sanitizer check: configure a dedicated build tree with the chosen sanitizer,
+# build, and run ctest. The thread-sanitizer run is the gate for the lock-free
+# observability paths: test_obs and test_taskrt must come back clean.
+#
+# Usage:
+#   scripts/check.sh [thread|address|none] [ctest-regex]
+#
+#   scripts/check.sh                  # TSan, full suite
+#   scripts/check.sh thread 'obs|taskrt'   # TSan, just the concurrency gate
+#   scripts/check.sh address          # ASan, full suite
+#   scripts/check.sh none             # plain build + tests
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+FILTER="${2:-}"
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+case "${SANITIZER}" in
+  thread|address)
+    BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}"
+    CMAKE_SANITIZE="${SANITIZER}"
+    ;;
+  none)
+    BUILD_DIR="${REPO_ROOT}/build-check"
+    CMAKE_SANITIZE=""
+    ;;
+  *)
+    echo "usage: $0 [thread|address|none] [ctest-regex]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== configure (${BUILD_DIR}, CLIMATE_SANITIZE='${CMAKE_SANITIZE}')"
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCLIMATE_SANITIZE="${CMAKE_SANITIZE}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== build"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== test"
+CTEST_ARGS=(--test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)")
+if [[ -n "${FILTER}" ]]; then
+  CTEST_ARGS+=(-R "${FILTER}")
+fi
+# Make sanitizer findings fatal and loud.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+ctest "${CTEST_ARGS[@]}"
+
+if [[ "${SANITIZER}" == "thread" && -z "${FILTER}" ]]; then
+  echo "== TSan gate: re-running test_obs + test_taskrt explicitly"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -R '^(test_obs|test_taskrt)$'
+fi
+
+echo "== OK (${SANITIZER})"

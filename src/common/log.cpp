@@ -3,12 +3,38 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 namespace climate::common {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kHuman)};
 std::mutex g_sink_mutex;
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -28,13 +54,33 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+void set_log_format(LogFormat format) { g_format.store(static_cast<int>(format)); }
+
+LogFormat log_format() { return static_cast<LogFormat>(g_format.load()); }
+
+std::size_t log_thread_id() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id = next.fetch_add(1);
+  return id;
+}
+
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
   if (static_cast<int>(level) < g_level.load()) return;
   const auto now = std::chrono::system_clock::now().time_since_epoch();
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  const std::size_t tid = log_thread_id();
+  if (log_format() == LogFormat::kJson) {
+    const std::string line =
+        "{\"ts_ms\":" + std::to_string(ms) + ",\"tid\":" + std::to_string(tid) + ",\"level\":\"" +
+        std::string(log_level_name(level)) + "\",\"component\":\"" + json_escape(component) +
+        "\",\"msg\":\"" + json_escape(message) + "\"}";
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%lld.%03lld] %-5s %.*s: %.*s\n", static_cast<long long>(ms / 1000),
-               static_cast<long long>(ms % 1000), log_level_name(level).data(),
+  std::fprintf(stderr, "[%lld.%03lld] T%02zu %-5s %.*s: %.*s\n", static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), tid, log_level_name(level).data(),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
 }

@@ -6,6 +6,7 @@
 // silence output in tests and benchmarks.
 #pragma once
 
+#include <cstddef>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -22,6 +23,18 @@ std::string_view log_level_name(LogLevel level);
 /// Global minimum severity; records below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Output format of the global sink. kHuman (the default) prints
+/// "[seconds.millis] T<tid> LEVEL component: message"; kJson prints one JSON
+/// object per line ({"ts_ms","tid","level","component","msg"}) so records can
+/// be joined with observability spans by wall-clock time.
+enum class LogFormat : int { kHuman = 0, kJson = 1 };
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Small sequential id of the calling thread (first caller = 0), stable for
+/// the thread's lifetime. Exposed for tests.
+std::size_t log_thread_id();
 
 /// Emits one record to stderr. Thread-safe. Prefer the LOG_* macros below.
 void log_message(LogLevel level, std::string_view component, std::string_view message);

@@ -14,6 +14,7 @@
 #include "esm/model.hpp"
 #include "esm/writer.hpp"
 #include "ncio/ncfile.hpp"
+#include "obs/obs.hpp"
 #include "taskrt/stream.hpp"
 
 namespace climate::core {
@@ -294,6 +295,8 @@ Result<float> pretrain_tc_localizer(const esm::EsmConfig& base_config,
 ExtremeEventsWorkflow::ExtremeEventsWorkflow(WorkflowConfig config) : config_(std::move(config)) {}
 
 Result<WorkflowResults> ExtremeEventsWorkflow::run() {
+  OBS_SPAN("core", "extreme_events_workflow");
+  OBS_SCOPED_LATENCY("core.workflow_ns");
   const WorkflowConfig& cfg = config_;
   if (cfg.output_dir.empty()) return Status::InvalidArgument("output_dir is required");
   const std::string daily_dir = cfg.output_dir + "/daily";

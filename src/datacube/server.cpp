@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "ncio/ncfile.hpp"
+#include "obs/obs.hpp"
 
 namespace climate::datacube {
 namespace {
@@ -67,12 +68,19 @@ std::string Server::register_cube(CubeData cube) {
 Result<std::shared_ptr<const CubeData>> Server::lookup(const std::string& pid) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = catalog_.find(pid);
-  if (it == catalog_.end()) return Status::NotFound("no datacube '" + pid + "'");
+  if (it == catalog_.end()) {
+    OBS_COUNTER_ADD("datacube.catalog_misses", 1);
+    return Status::NotFound("no datacube '" + pid + "'");
+  }
+  OBS_COUNTER_ADD("datacube.catalog_hits", 1);
   return it->second;
 }
 
 Result<std::string> Server::importnc(const std::string& path, const std::string& variable,
                                      const ImportOptions& options) {
+  OBS_SPAN("datacube", "importnc");
+  OBS_SCOPED_LATENCY("datacube.op_ns.importnc");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto reader = ncio::FileReader::open(path);
   if (!reader.ok()) return reader.status();
 
@@ -132,6 +140,7 @@ Result<std::string> Server::importnc(const std::string& path, const std::string&
     stats_.disk_reads += 1;
     stats_.disk_bytes_read += values->size() * sizeof(float);
   }
+  OBS_COUNTER_ADD("datacube.disk_bytes_read", values->size() * sizeof(float));
   if (nfragments == 0) nfragments = nservers;
 
   const std::size_t alen = cube.array_length();
@@ -166,6 +175,9 @@ Result<std::string> Server::create_cube(std::string measure, std::vector<DimInfo
 }
 
 Status Server::exportnc(const std::string& pid, const std::string& path) {
+  OBS_SPAN("datacube", "exportnc");
+  OBS_SCOPED_LATENCY("datacube.op_ns.exportnc");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& cube = **cube_result;
@@ -218,11 +230,15 @@ Status Server::exportnc(const std::string& pid, const std::string& path) {
     stats_.disk_writes += 1;
     stats_.disk_bytes_written += dense.size() * sizeof(float);
   }
+  OBS_COUNTER_ADD("datacube.disk_bytes_written", dense.size() * sizeof(float));
   return Status::Ok();
 }
 
 Result<std::string> Server::reduce(const std::string& pid, ReduceOp op, std::size_t group_size,
                                    const std::string& description) {
+  OBS_SPAN("datacube", "reduce");
+  OBS_SCOPED_LATENCY("datacube.op_ns.reduce");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& src = **cube_result;
@@ -307,6 +323,9 @@ Result<std::string> Server::reduce(const std::string& pid, ReduceOp op, std::siz
 
 Result<std::string> Server::apply(const std::string& pid, const std::string& expression,
                                   const std::string& description) {
+  OBS_SPAN("datacube", "apply");
+  OBS_SCOPED_LATENCY("datacube.op_ns.apply");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& src = **cube_result;
@@ -361,6 +380,9 @@ Result<std::string> Server::apply(const std::string& pid, const std::string& exp
 
 Result<std::string> Server::intercube(const std::string& pid_a, const std::string& pid_b,
                                       InterOp op, const std::string& description) {
+  OBS_SPAN("datacube", "intercube");
+  OBS_SCOPED_LATENCY("datacube.op_ns.intercube");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
   auto b_result = lookup(pid_b);
@@ -416,6 +438,9 @@ Result<std::string> Server::intercube(const std::string& pid_a, const std::strin
 Result<std::string> Server::subset(const std::string& pid, const std::string& dim_name,
                                    std::size_t start, std::size_t end,
                                    const std::string& description) {
+  OBS_SPAN("datacube", "subset");
+  OBS_SCOPED_LATENCY("datacube.op_ns.subset");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& src = **cube_result;
@@ -510,6 +535,9 @@ Result<std::string> Server::subset(const std::string& pid, const std::string& di
 
 Result<std::string> Server::merge(const std::string& pid_a, const std::string& pid_b,
                                   const std::string& description) {
+  OBS_SPAN("datacube", "mergecubes");
+  OBS_SCOPED_LATENCY("datacube.op_ns.mergecubes");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
   auto b_result = lookup(pid_b);
@@ -555,6 +583,9 @@ Result<std::string> Server::merge(const std::string& pid_a, const std::string& p
 
 Result<std::string> Server::concat_implicit(const std::string& pid_a, const std::string& pid_b,
                                             const std::string& description) {
+  OBS_SPAN("datacube", "concat");
+  OBS_SCOPED_LATENCY("datacube.op_ns.concat");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
   auto b_result = lookup(pid_b);
@@ -605,6 +636,9 @@ Result<std::string> Server::concat_implicit(const std::string& pid_a, const std:
 
 Result<std::string> Server::aggregate(const std::string& pid, const std::string& dim_name,
                                       ReduceOp op, const std::string& description) {
+  OBS_SPAN("datacube", "aggregate");
+  OBS_SCOPED_LATENCY("datacube.op_ns.aggregate");
+  OBS_COUNTER_ADD("datacube.operators", 1);
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& src = **cube_result;

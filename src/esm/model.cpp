@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "esm/climatology.hpp"
+#include "obs/obs.hpp"
 
 namespace climate::esm {
 namespace {
@@ -178,6 +179,7 @@ void EsmModel::begin_day(int day) {
 }
 
 void EsmModel::step() {
+  OBS_SCOPED_LATENCY("esm.step_ns");
   const int step = step_count_;
   const int steps = config_.steps_per_day;
   const int day = step / steps;
@@ -299,6 +301,8 @@ void EsmModel::step() {
 }
 
 DailyFields EsmModel::run_day() {
+  OBS_SPAN("esm", "run_day");
+  OBS_COUNTER_ADD("esm.days_simulated", 1);
   const int steps = config_.steps_per_day;
   for (int s = 0; s < steps; ++s) step();
   day_open_ = false;

@@ -5,6 +5,7 @@
 
 #include "common/strings.hpp"
 #include "ncio/ncfile.hpp"
+#include "obs/obs.hpp"
 
 namespace climate::esm {
 namespace {
@@ -49,6 +50,8 @@ std::vector<std::string> daily_variable_names() {
 
 Result<std::uint64_t> write_daily_file(const std::string& path, const DailyFields& day,
                                        const LatLonGrid& grid) {
+  OBS_SPAN("esm", "writer_flush");
+  OBS_SCOPED_LATENCY("esm.writer_flush_ns");
   auto writer = ncio::FileWriter::create(path);
   if (!writer.ok()) return writer.status();
 
@@ -120,6 +123,7 @@ Result<std::uint64_t> write_daily_file(const std::string& path, const DailyField
 
   const std::uint64_t bytes = writer->total_bytes();
   CLIMATE_RETURN_IF_ERROR(writer->close());
+  OBS_COUNTER_ADD("esm.bytes_written", bytes);
   return bytes;
 }
 

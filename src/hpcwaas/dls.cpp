@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 
 namespace climate::hpcwaas {
 
@@ -29,6 +30,8 @@ Result<PipelineReport> DataLogisticsService::run(const std::string& name) {
 }
 
 PipelineReport DataLogisticsService::execute(const DataPipeline& pipeline) {
+  obs::Span span("hpcwaas", "dls:" + pipeline.name);
+  OBS_SCOPED_LATENCY("hpcwaas.dls_pipeline_ns");
   PipelineReport report;
   report.pipeline = pipeline.name;
   for (const DataStep& step : pipeline.steps) {
@@ -83,6 +86,7 @@ PipelineReport DataLogisticsService::execute(const DataPipeline& pipeline) {
       }
     }
     report.total_bytes += sr.bytes;
+    OBS_COUNTER_ADD("hpcwaas.dls_bytes_moved", sr.bytes);
     const bool failed = !sr.status.ok();
     report.steps.push_back(std::move(sr));
     if (failed) break;  // pipelines stop at the first failing step

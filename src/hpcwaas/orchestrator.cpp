@@ -1,6 +1,7 @@
 #include "hpcwaas/orchestrator.hpp"
 
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 
 namespace climate::hpcwaas {
 namespace {
@@ -31,6 +32,7 @@ DeploymentStep Orchestrator::deploy_node(const Topology& topology, const NodeTem
   DeploymentStep step;
   step.node = node.name;
   step.kind = node.kind;
+  obs::Span span("hpcwaas", "deploy:" + node.name);
   const auto begin = std::chrono::steady_clock::now();
 
   switch (node.kind) {
@@ -100,10 +102,15 @@ DeploymentStep Orchestrator::deploy_node(const Topology& topology, const NodeTem
   step.elapsed_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                               begin)
                         .count();
+  obs::observe_histogram("hpcwaas.deploy_step_ns." + std::string(node_kind_name(node.kind)),
+                         step.elapsed_ms * 1e6);
   return step;
 }
 
 Deployment Orchestrator::deploy(const Topology& topology) {
+  OBS_SPAN("hpcwaas", "deploy");
+  OBS_SCOPED_LATENCY("hpcwaas.deploy_ns");
+  OBS_COUNTER_ADD("hpcwaas.deployments", 1);
   Deployment deployment;
   deployment.id = "dep-" + std::to_string(next_id_++);
   deployment.topology_name = topology.name;

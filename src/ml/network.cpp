@@ -4,10 +4,29 @@
 #include <cstdint>
 #include <fstream>
 
+#include "obs/obs.hpp"
+
 namespace climate::ml {
 
 Tensor Sequential::forward(const Tensor& input, bool training) {
   Tensor x = input;
+#if !defined(CLIMATE_OBS_DISABLED)
+  if (obs::enabled()) {
+    if (layer_hists_.size() != layers_.size()) {
+      layer_hists_.clear();
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        layer_hists_.push_back(obs::MetricsRegistry::global().histogram(
+            "ml.layer_forward_ns.L" + std::to_string(i) + "_" + layers_[i]->name()));
+      }
+    }
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      const std::int64_t t0 = obs::now_ns();
+      x = layers_[i]->forward(x, training);
+      layer_hists_[i]->observe(static_cast<double>(obs::now_ns() - t0));
+    }
+    return x;
+  }
+#endif
   for (auto& layer : layers_) x = layer->forward(x, training);
   return x;
 }

@@ -9,6 +9,10 @@
 #include "common/status.hpp"
 #include "ml/layers.hpp"
 
+namespace climate::obs {
+class Histogram;
+}
+
 namespace climate::ml {
 
 using common::Result;
@@ -48,6 +52,10 @@ class Sequential {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Per-layer forward-latency histograms ("ml.layer_forward_ns.L<i>_<name>"),
+  // resolved lazily on the first instrumented forward pass. Registry handles
+  // are stable for the process lifetime, so raw pointers are safe to cache.
+  std::vector<obs::Histogram*> layer_hists_;
 };
 
 /// Binary cross-entropy over sigmoid outputs in (0,1). Returns the mean loss

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace climate::ml {
 
 float scale_feature(std::size_t channel, float raw) {
@@ -83,6 +85,8 @@ TcLocalizer::TcLocalizer(std::size_t patch, std::uint64_t seed) : patch_(patch),
 
 float TcLocalizer::train_epoch(const std::vector<TcPatch>& patches, std::size_t batch_size) {
   if (patches.empty()) return 0.0f;
+  OBS_SPAN("ml", "train_epoch");
+  OBS_SCOPED_LATENCY("ml.train_epoch_ns");
   // Shuffled index order for this epoch.
   std::vector<std::size_t> order(patches.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -140,6 +144,9 @@ float TcLocalizer::train_epoch(const std::vector<TcPatch>& patches, std::size_t 
 }
 
 std::vector<TcLocalizer::Output> TcLocalizer::infer(const std::vector<TcPatch>& patches) {
+  OBS_SPAN("ml", "tc_inference");
+  OBS_SCOPED_LATENCY("ml.infer_ns");
+  OBS_COUNTER_ADD("ml.patches_inferred", patches.size());
   std::vector<Output> outputs;
   outputs.reserve(patches.size());
   constexpr std::size_t kChunk = 64;
@@ -164,6 +171,8 @@ std::vector<TcDetection> TcLocalizer::detect(const Field& psl, const Field& wspd
                                              const Field& vort, const Field& tas,
                                              const LatLonGrid& grid, double threshold,
                                              std::size_t infer_nlat, std::size_t infer_nlon) {
+  OBS_SPAN("ml", "tc_detect");
+  OBS_SCOPED_LATENCY("ml.detect_ns");
   const Field* use_psl = &psl;
   const Field* use_wspd = &wspd;
   const Field* use_vort = &vort;

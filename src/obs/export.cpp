@@ -1,0 +1,172 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace climate::obs {
+namespace {
+
+constexpr const char* kLogTag = "obs";
+
+common::Json meta_event(int pid, int tid, const char* kind, const std::string& label) {
+  common::Json::Object args;
+  args["name"] = label;
+  common::Json::Object event;
+  event["ph"] = "M";
+  event["pid"] = pid;
+  if (tid >= 0) event["tid"] = tid;
+  event["name"] = kind;
+  event["args"] = common::Json(std::move(args));
+  return common::Json(std::move(event));
+}
+
+common::Json complete_event(int pid, int tid, const std::string& name, const std::string& cat,
+                            std::int64_t start_ns, std::int64_t end_ns, common::Json args) {
+  common::Json::Object event;
+  event["ph"] = "X";
+  event["pid"] = pid;
+  event["tid"] = tid;
+  event["name"] = name;
+  event["cat"] = cat.empty() ? "default" : cat;
+  event["ts"] = static_cast<double>(start_ns) / 1e3;   // microseconds
+  event["dur"] = static_cast<double>(end_ns - start_ns) / 1e3;
+  if (!args.is_null()) event["args"] = std::move(args);
+  return common::Json(std::move(event));
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              const std::vector<TrackEvent>& extra_tracks) {
+  common::Json::Array events;
+  events.push_back(meta_event(1, -1, "process_name", "spans"));
+
+  std::map<std::uint32_t, bool> named_threads;
+  for (const SpanRecord& span : spans) {
+    if (named_threads.emplace(span.tid, true).second) {
+      events.push_back(
+          meta_event(1, static_cast<int>(span.tid), "thread_name",
+                     "thread-" + std::to_string(span.tid)));
+    }
+    common::Json::Object args;
+    args["id"] = static_cast<std::int64_t>(span.id);
+    if (span.parent != 0) args["parent"] = static_cast<std::int64_t>(span.parent);
+    events.push_back(complete_event(1, static_cast<int>(span.tid), span.name, span.category,
+                                    span.start_ns, span.end_ns,
+                                    common::Json(std::move(args))));
+  }
+
+  if (!extra_tracks.empty()) {
+    events.push_back(meta_event(2, -1, "process_name", "taskrt nodes"));
+    std::map<std::string, int> track_tids;
+    for (const TrackEvent& event : extra_tracks) {
+      auto [it, inserted] = track_tids.emplace(event.track, static_cast<int>(track_tids.size()));
+      if (inserted) events.push_back(meta_event(2, it->second, "thread_name", event.track));
+      events.push_back(complete_event(2, it->second, event.name, event.category, event.start_ns,
+                                      event.end_ns, common::Json()));
+    }
+  }
+
+  common::Json::Object doc;
+  doc["displayTimeUnit"] = "ms";
+  doc["traceEvents"] = common::Json(std::move(events));
+  return common::Json(std::move(doc)).dump();
+}
+
+namespace {
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out = "climate_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  // Prometheus accepts any float literal; trim trailing zeros for legibility.
+  std::string s = common::format("%.6f", value);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = sanitize_metric_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = sanitize_metric_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string metric = sanitize_metric_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+      cumulative += hist.counts[b];
+      out += metric + "_bucket{le=\"" + format_double(hist.bounds[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += metric + "_sum " + format_double(hist.sum) + "\n";
+    out += metric + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+common::Json metrics_json(const MetricsSnapshot& snapshot) {
+  common::Json::Object counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters[name] = static_cast<std::int64_t>(value);
+  }
+  common::Json::Object gauges;
+  for (const auto& [name, value] : snapshot.gauges) gauges[name] = value;
+  common::Json::Object histograms;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    common::Json::Array bounds;
+    for (double b : hist.bounds) bounds.push_back(b);
+    common::Json::Array counts;
+    for (std::uint64_t c : hist.counts) counts.push_back(static_cast<std::int64_t>(c));
+    common::Json::Object h;
+    h["bounds"] = common::Json(std::move(bounds));
+    h["counts"] = common::Json(std::move(counts));
+    h["count"] = static_cast<std::int64_t>(hist.count);
+    h["sum"] = hist.sum;
+    histograms[name] = common::Json(std::move(h));
+  }
+  common::Json::Object doc;
+  doc["counters"] = common::Json(std::move(counters));
+  doc["gauges"] = common::Json(std::move(gauges));
+  doc["histograms"] = common::Json(std::move(histograms));
+  return common::Json(std::move(doc));
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    LOG_WARN(kLogTag) << "cannot write " << path;
+    return false;
+  }
+  out << content;
+  out.close();
+  if (!out) {
+    LOG_WARN(kLogTag) << "short write to " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace climate::obs

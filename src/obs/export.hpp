@@ -1,0 +1,50 @@
+// Exporters for the observability layer:
+//  - Chrome trace-event JSON (loads in Perfetto / chrome://tracing): spans
+//    as complete ("X") events grouped by thread, plus optional external
+//    tracks (e.g. the taskrt::Trace task records, one track per node);
+//  - Prometheus text exposition of a metrics snapshot;
+//  - a plain JSON snapshot dump for benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace climate::obs {
+
+/// One externally produced complete event, merged into the Chrome trace as
+/// its own track group. Used to overlay the taskrt runtime trace (a track
+/// per node) onto the span timeline; timestamps must be on the obs::now_ns()
+/// clock.
+struct TrackEvent {
+  std::string track;   ///< Track label, e.g. "node0".
+  std::string name;    ///< Event label, e.g. the task function name.
+  std::string category;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
+/// Chrome trace-event JSON. Spans become "X" events under pid 1 (one tid per
+/// recording thread); `extra_tracks` events land under pid 2 with one tid per
+/// distinct track label. Thread/process names are emitted as "M" metadata
+/// events so Perfetto shows readable lanes.
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              const std::vector<TrackEvent>& extra_tracks = {});
+
+/// Prometheus text exposition (text/plain; version 0.0.4). Metric names are
+/// sanitized ('.' and other invalid characters become '_') and prefixed with
+/// "climate_"; histograms emit cumulative _bucket{le=...}, _sum and _count.
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Structured JSON dump of a metrics snapshot (benches attach this next to
+/// their timing tables).
+common::Json metrics_json(const MetricsSnapshot& snapshot);
+
+/// Writes `content` to `path`; returns false (and logs) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace climate::obs

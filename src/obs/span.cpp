@@ -1,0 +1,79 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace climate::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+thread_local std::uint64_t t_current_span = 0;
+
+}  // namespace
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector* collector = new SpanCollector();  // never destroyed
+  return *collector;
+}
+
+void SpanCollector::set_capacity(std::size_t capacity) {
+  capacity_.store(capacity, std::memory_order_relaxed);
+}
+
+void SpanCollector::record(SpanRecord record) {
+  if (approx_size_.load(std::memory_order_relaxed) >= capacity_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Shard& shard = shards_[shard_index()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.records.push_back(std::move(record));
+  approx_size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> SpanCollector::snapshot() const {
+  std::vector<SpanRecord> all;
+  all.reserve(size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    all.insert(all.end(), shard.records.begin(), shard.records.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.start_ns < b.start_ns; });
+  return all;
+}
+
+void SpanCollector::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.records.clear();
+  }
+  approx_size_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Span::current_id() { return t_current_span; }
+
+void Span::begin(std::string_view category, std::string_view name) {
+  active_ = true;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  category_.assign(category);
+  name_.assign(name);
+  start_ns_ = now_ns();
+}
+
+void Span::finish() {
+  t_current_span = parent_;
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.category = std::move(category_);
+  record.name = std::move(name_);
+  record.tid = thread_id();
+  record.start_ns = start_ns_;
+  record.end_ns = now_ns();
+  SpanCollector::global().record(std::move(record));
+}
+
+}  // namespace climate::obs

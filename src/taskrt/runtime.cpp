@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 
 namespace climate::taskrt {
 
@@ -78,7 +79,6 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
     nodes_ = options_.nodes;
   }
   if (!options_.checkpoint_dir.empty()) checkpoints_.emplace(options_.checkpoint_dir);
-  epoch_ = std::chrono::steady_clock::now();
 
   node_queues_.resize(nodes_.size());
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
@@ -104,9 +104,10 @@ Runtime::~Runtime() {
 }
 
 std::int64_t Runtime::now_ns() const {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
-                                                              epoch_)
-      .count();
+  // The observability clock (ns since the process-wide obs epoch) rather
+  // than a per-runtime epoch: all trace records, spans and metrics then
+  // share one timeline and merge into a single Perfetto view.
+  return obs::now_ns();
 }
 
 DataHandle Runtime::create_data(std::any initial, std::size_t size_bytes) {
@@ -149,6 +150,7 @@ TaskId Runtime::submit(const std::string& name, const TaskOptions& options,
 
     auto add_dep = [&](TaskId dep) {
       if (dep == kNoTask || dep == id) return;
+      task->trace_deps.insert(dep);
       const TaskRecord& dep_task = *tasks_[dep - 1];
       if (dep_task.state == TaskState::kCompleted) return;
       task->deps.insert(dep);
@@ -166,7 +168,10 @@ TaskId Runtime::submit(const std::string& name, const TaskOptions& options,
         throw std::logic_error("submit('" + name + "'): IN parameter reads released data");
       }
       binding.read_version = latest;
-      if (!version.ready) add_dep(version.writer);
+      // Record the provenance edge even when the writer already completed
+      // (no scheduling dep needed, but the trace graph must not depend on
+      // execution timing).
+      add_dep(version.writer);
     }
     if (param.direction == Direction::kOut || param.direction == Direction::kInOut) {
       // Anti-dependencies: a writer must wait for earlier readers of the
@@ -189,6 +194,7 @@ TaskId Runtime::submit(const std::string& name, const TaskOptions& options,
   }
 
   ++stats_.tasks_submitted;
+  OBS_COUNTER_ADD("taskrt.tasks_submitted", 1);
 
   // Checkpoint skip: a previously recorded task is completed immediately
   // from its stored outputs, regardless of dependencies (recovery semantics).
@@ -266,6 +272,7 @@ void Runtime::enqueue_ready(TaskId id) {
     return;
   }
   node_queues_[static_cast<std::size_t>(node)].push_back(id);
+  OBS_GAUGE_ADD("taskrt.ready_queue_depth", 1);
   scheduler_cv_.notify_all();
 }
 
@@ -336,6 +343,7 @@ void Runtime::worker_loop(int node_index) {
     while (!own.empty() && task_id == kNoTask) {
       const TaskId candidate = own.front();
       own.pop_front();
+      OBS_GAUGE_ADD("taskrt.ready_queue_depth", -1);
       if (tasks_[candidate - 1]->state == TaskState::kReady) task_id = candidate;
     }
     if (task_id == kNoTask) {
@@ -363,6 +371,8 @@ void Runtime::worker_loop(int node_index) {
           if (tasks_[*it - 1]->state == TaskState::kReady && node_eligible(node_index, *tasks_[*it - 1])) {
             task_id = *it;
             q.erase(it);
+            OBS_GAUGE_ADD("taskrt.ready_queue_depth", -1);
+            OBS_COUNTER_ADD("taskrt.steals", 1);
             break;
           }
         }
@@ -379,10 +389,15 @@ void Runtime::worker_loop(int node_index) {
 void Runtime::execute_task(TaskId id, int node_index) {
   TaskContext ctx;
   std::int64_t transfer_bytes = 0;
+  // Resolved under the lock below, then used outside it while the task body
+  // runs: the record's address is stable (unique_ptr), but indexing tasks_
+  // unlocked would race with submit() reallocating the vector.
+  TaskRecord* running = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     TaskRecord& task = *tasks_[id - 1];
     if (task.state != TaskState::kReady) return;
+    running = &task;
     task.state = TaskState::kRunning;
     task.node = node_index;
     task.start_ns = task.start_ns < 0 ? now_ns() : task.start_ns;
@@ -407,6 +422,8 @@ void Runtime::execute_task(TaskId id, int node_index) {
         ++stats_.transfers;
         stats_.bytes_transferred += version.size_bytes;
         transfer_bytes += static_cast<std::int64_t>(version.size_bytes);
+        OBS_COUNTER_ADD("taskrt.transfers", 1);
+        OBS_COUNTER_ADD("taskrt.bytes_transferred", version.size_bytes);
       }
     }
   }
@@ -425,23 +442,28 @@ void Runtime::execute_task(TaskId id, int node_index) {
 
   std::string error;
   bool success = true;
-  try {
-    TaskRecord& task = *tasks_[id - 1];  // fn/name immutable while running
-    task.fn(ctx);
-  } catch (const std::exception& e) {
-    success = false;
-    error = e.what();
-  } catch (...) {
-    success = false;
-    error = "unknown exception";
+  {
+    // Per-function latency histogram + one span per task body so the merged
+    // Perfetto trace can show the task timeline alongside the other layers.
+    obs::Span span("taskrt", ctx.name_);
+    const std::int64_t fn_start = obs::now_ns();
+    try {
+      running->fn(ctx);  // fn immutable while the task is running
+    } catch (const std::exception& e) {
+      success = false;
+      error = e.what();
+    } catch (...) {
+      success = false;
+      error = "unknown exception";
+    }
+    obs::observe_histogram("taskrt.task_ns." + ctx.name_, static_cast<double>(obs::now_ns() - fn_start));
   }
 
   // Move the produced outputs into the task record under the lock inside
   // finish_task; stash them on the context first.
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    TaskRecord& task = *tasks_[id - 1];
-    task.pending_outputs = std::move(ctx.outputs_);
+    running->pending_outputs = std::move(ctx.outputs_);
   }
   finish_task(id, success, error);
 }
@@ -470,6 +492,7 @@ void Runtime::commit_outputs_from_checkpoint(TaskRecord& task,
 
 void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
   std::vector<std::string> checkpoint_blobs;
+  std::string checkpoint_key;
   bool want_checkpoint = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -485,6 +508,7 @@ void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
         task.state = TaskState::kReady;
         const int node = pick_node(task);
         node_queues_[static_cast<std::size_t>(node < 0 ? 0 : node)].push_back(id);
+        OBS_GAUGE_ADD("taskrt.ready_queue_depth", 1);
         scheduler_cv_.notify_all();
         return;
       }
@@ -553,6 +577,7 @@ void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
     }
     if (checkpoints_ && !task.options.checkpoint_key.empty() && task.options.codec.usable()) {
       want_checkpoint = true;
+      checkpoint_key = task.options.checkpoint_key;
       for (std::size_t i = 0; i < task.bindings.size(); ++i) {
         if (task.bindings[i].direction == Direction::kIn) continue;
         const VersionRecord& version = data_[task.bindings[i].data].versions[task.bindings[i].write_version];
@@ -562,10 +587,11 @@ void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
     complete_locked(task);
   }
   if (want_checkpoint) {
-    const TaskRecord& task = *tasks_[id - 1];
-    const Status st = checkpoints_->save(task.options.checkpoint_key, checkpoint_blobs);
+    // checkpoint_key was copied under the lock: indexing tasks_ here would
+    // race with submit() growing the vector.
+    const Status st = checkpoints_->save(checkpoint_key, checkpoint_blobs);
     if (!st.ok()) {
-      LOG_WARN(kLogTag) << "checkpoint save failed for '" << task.options.checkpoint_key
+      LOG_WARN(kLogTag) << "checkpoint save failed for '" << checkpoint_key
                         << "': " << st.to_string();
     }
   }
@@ -694,7 +720,7 @@ Trace Runtime::trace() const {
     t.submit_ns = task->submit_ns;
     t.start_ns = task->start_ns;
     t.end_ns = task->end_ns;
-    t.deps.assign(task->deps.begin(), task->deps.end());
+    t.deps.assign(task->trace_deps.begin(), task->trace_deps.end());
     t.from_checkpoint = task->from_checkpoint;
     traces.push_back(std::move(t));
   }

@@ -236,6 +236,9 @@ class Runtime {
     std::vector<ParamBinding> bindings;
     std::vector<Param> original_params;
     std::set<TaskId> deps;         // predecessor tasks still incomplete at submit
+    std::set<TaskId> trace_deps;   // all data predecessors, even if already
+                                   // complete — keeps the exported task graph
+                                   // independent of execution timing
     std::size_t pending = 0;       // unfinished predecessors
     std::vector<TaskId> successors;
     TaskState state = TaskState::kPending;
@@ -280,7 +283,6 @@ class Runtime {
   DataId next_data_id_ = 1;
   std::size_t round_robin_cursor_ = 0;  // used when locality_aware is off
   RuntimeStats stats_;
-  std::chrono::steady_clock::time_point epoch_;
   std::vector<std::thread> workers_;
 };
 

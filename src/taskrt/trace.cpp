@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/export.hpp"
 
 namespace climate::taskrt {
 namespace {
@@ -142,6 +143,22 @@ std::string Trace::to_gantt_csv() const {
                           static_cast<double>(t.end_ns) / 1e3);
   }
   return csv;
+}
+
+std::vector<obs::TrackEvent> to_obs_track_events(const Trace& trace) {
+  std::vector<obs::TrackEvent> events;
+  events.reserve(trace.tasks().size());
+  for (const TaskTrace& t : trace.tasks()) {
+    if (t.start_ns < 0 || t.end_ns < t.start_ns) continue;
+    obs::TrackEvent ev;
+    ev.track = common::format("node%d", t.node);
+    ev.name = t.name;
+    ev.category = "taskrt.task";
+    ev.start_ns = t.start_ns;
+    ev.end_ns = t.end_ns;
+    events.push_back(std::move(ev));
+  }
+  return events;
 }
 
 }  // namespace climate::taskrt

@@ -68,3 +68,16 @@ class Trace {
 };
 
 }  // namespace climate::taskrt
+
+namespace climate::obs {
+struct TrackEvent;
+}
+
+namespace climate::taskrt {
+
+/// Converts a runtime trace into observability track events (one track per
+/// executing node) so obs::chrome_trace_json can merge the task timeline
+/// with the cross-layer spans. Tasks that never started are skipped.
+std::vector<obs::TrackEvent> to_obs_track_events(const Trace& trace);
+
+}  // namespace climate::taskrt

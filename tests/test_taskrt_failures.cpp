@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <thread>
 
 #include "taskrt/checkpoint.hpp"
 #include "taskrt/runtime.hpp"
@@ -41,12 +42,17 @@ TEST(Failures, FailCancelsPendingTasks) {
   Runtime rt;
   DataHandle a = rt.create_data();
   DataHandle b = rt.create_data();
-  const TaskId t1 = rt.submit("boom", {Out(a)}, [](TaskContext&) {
+  // Gate the failure until both tasks are submitted; otherwise a fast worker
+  // can fail 'boom' first and the second submit throws WorkflowError.
+  std::atomic<bool> both_submitted{false};
+  const TaskId t1 = rt.submit("boom", {Out(a)}, [&both_submitted](TaskContext&) {
+    while (!both_submitted.load()) std::this_thread::yield();
     throw std::runtime_error("kaboom");
   });
   const TaskId t2 = rt.submit("dependent", {In(a), Out(b)}, [](TaskContext& ctx) {
     ctx.set_out(1, std::any(1));
   });
+  both_submitted.store(true);
   try {
     rt.wait_all();
     FAIL() << "expected WorkflowError";
