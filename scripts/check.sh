@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Sanitizer check: configure a dedicated build tree with the chosen sanitizer,
 # build, and run ctest. The thread-sanitizer run is the gate for the lock-free
-# observability paths: test_obs and test_taskrt must come back clean.
+# observability paths: test_obs and test_taskrt must come back clean. The
+# address run also enables UBSan (the two compose; TSan does not).
 #
 # Usage:
-#   scripts/check.sh [thread|address|none] [ctest-regex]
+#   scripts/check.sh [thread|address|undefined|none|--full] [ctest-regex]
 #
 #   scripts/check.sh                  # TSan, full suite
 #   scripts/check.sh thread 'obs|taskrt'   # TSan, just the concurrency gate
-#   scripts/check.sh address          # ASan, full suite
+#   scripts/check.sh address          # ASan+UBSan, full suite
+#   scripts/check.sh undefined        # UBSan only, full suite
 #   scripts/check.sh none             # plain build + tests
+#   scripts/check.sh --full           # the CI gate: TSan, ASan+UBSan, lint.sh
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
@@ -17,8 +20,18 @@ FILTER="${2:-}"
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
+if [[ "${SANITIZER}" == "--full" ]]; then
+  # The full gate runs each stage through this script so every stage gets the
+  # same dedicated build tree and fatal sanitizer options.
+  "${BASH_SOURCE[0]}" thread
+  "${BASH_SOURCE[0]}" address
+  "${REPO_ROOT}/scripts/lint.sh"
+  echo "== OK (full gate: thread, address+undefined, lint)"
+  exit 0
+fi
+
 case "${SANITIZER}" in
-  thread|address)
+  thread|address|undefined)
     BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}"
     CMAKE_SANITIZE="${SANITIZER}"
     ;;
@@ -27,7 +40,7 @@ case "${SANITIZER}" in
     CMAKE_SANITIZE=""
     ;;
   *)
-    echo "usage: $0 [thread|address|none] [ctest-regex]" >&2
+    echo "usage: $0 [thread|address|undefined|none|--full] [ctest-regex]" >&2
     exit 2
     ;;
 esac
@@ -47,11 +60,18 @@ fi
 # Make sanitizer findings fatal and loud.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 ctest "${CTEST_ARGS[@]}"
 
 if [[ "${SANITIZER}" == "thread" && -z "${FILTER}" ]]; then
   echo "== TSan gate: re-running test_obs + test_taskrt explicitly"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -R '^(test_obs|test_taskrt)$'
+fi
+
+if [[ "${SANITIZER}" == "address" && -z "${FILTER}" ]]; then
+  echo "== verifier gate: re-running the verify suite with CLIMATE_VERIFY=1"
+  CLIMATE_VERIFY=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+    -R '^(test_taskrt|test_taskrt_verify)$'
 fi
 
 echo "== OK (${SANITIZER})"

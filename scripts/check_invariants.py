@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Repo-invariant checker for the project lint gate (scripts/lint.sh).
+
+Pure-stdlib static checks over the source tree; no compiler needed, so the
+gate runs even where clang tooling is unavailable. Enforced invariants:
+
+  1. any-cast containment: `std::any_cast` may appear only under src/taskrt/.
+     Everything else goes through the checked taskrt::any_ref/any_as helpers
+     (or the TaskContext/Runtime accessors built on them), which turn silent
+     bad_any_cast into errors naming the expected and held types.
+
+  2. Layering: each src/<layer>/ may include only from its declared lower
+     layers (see LAYER_DEPS). Catches, e.g., esm/ reaching into hpcwaas/.
+
+  3. Log tag hygiene: LOG_* macro calls use a string-literal component tag or
+     a named kFooTag constant (log routing keys on it; an arbitrary computed
+     tag breaks aggregation).
+
+Exit code 0 when clean, 1 with one "file:line: message" per violation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Allowed direct #include targets per layer (the measured architecture of the
+# tree; core is the composition root). Adding an edge here is an explicit,
+# reviewed decision.
+LAYER_DEPS = {
+    "common": set(),
+    "msg": set(),
+    "ncio": {"common"},
+    "obs": {"common"},
+    "taskrt": {"common", "obs"},
+    "datacube": {"common", "ncio", "obs"},
+    "esm": {"common", "msg", "ncio", "obs"},
+    "ml": {"common", "obs"},
+    "extremes": {"common", "datacube", "esm"},
+    "hpcwaas": {"common", "obs"},
+    "core": {"common", "datacube", "esm", "extremes", "ml", "ncio", "obs", "taskrt"},
+}
+
+SOURCE_GLOBS = ("src/**/*.hpp", "src/**/*.cpp", "tests/**/*.cpp", "bench/**/*.cpp",
+                "examples/**/*.cpp")
+
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([a-z0-9_]+)/')
+ANY_CAST_RE = re.compile(r"\bstd::any_cast\b")
+LOG_TAG_RE = re.compile(r"\bLOG_(?:TRACE|DEBUG|INFO|WARN|ERROR)\s*\(\s*([^)\s][^),]*)\)")
+TAG_CONSTANT_RE = re.compile(r"^k\w*Tag$")
+# The macro definitions themselves forward a `component` parameter.
+LOG_TAG_EXEMPT = {pathlib.Path("src/common/log.hpp")}
+
+
+def iter_sources():
+    for pattern in SOURCE_GLOBS:
+        yield from sorted(REPO_ROOT.glob(pattern))
+
+
+def layer_of(path: pathlib.Path):
+    rel = path.relative_to(REPO_ROOT)
+    if rel.parts[0] == "src" and len(rel.parts) > 2:
+        return rel.parts[1]
+    return None
+
+
+def check_file(path: pathlib.Path, violations: list):
+    rel = path.relative_to(REPO_ROOT)
+    layer = layer_of(path)
+    in_taskrt = layer == "taskrt"
+    allowed = LAYER_DEPS.get(layer) if layer is not None else None
+
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("//"):
+            continue
+
+        if not in_taskrt and ANY_CAST_RE.search(line):
+            violations.append(
+                f"{rel}:{lineno}: naked std::any_cast outside src/taskrt/ "
+                f"(use taskrt::any_ref/any_as or a typed accessor)")
+
+        if allowed is not None:
+            match = INCLUDE_RE.match(line)
+            if match:
+                target = match.group(1)
+                if target != layer and target in LAYER_DEPS and target not in allowed:
+                    violations.append(
+                        f"{rel}:{lineno}: layer violation: {layer}/ must not include "
+                        f"{target}/ (allowed: {', '.join(sorted(allowed)) or 'nothing'})")
+
+        if rel not in LOG_TAG_EXEMPT:
+            for tag in LOG_TAG_RE.findall(line):
+                tag = tag.strip()
+                if not tag.startswith('"') and not TAG_CONSTANT_RE.match(tag):
+                    violations.append(
+                        f"{rel}:{lineno}: LOG_* component tag must be a string literal or a "
+                        f"kFooTag constant, got '{tag}'")
+
+
+def main() -> int:
+    violations: list = []
+    checked = 0
+    for path in iter_sources():
+        check_file(path, violations)
+        checked += 1
+    if violations:
+        for violation in violations:
+            print(violation)
+        print(f"check_invariants: {len(violations)} violation(s) in {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"check_invariants: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Project lint gate (the static half of scripts/check.sh --full):
+#
+#   1. check_invariants.py — repo invariants (any-cast containment, layer
+#      includes, log-tag hygiene). Always runs; pure python3.
+#   2. clang-format --dry-run against .clang-format. Advisory unless
+#      LINT_FORMAT=strict (formatting drift should not block a container
+#      that carries a different clang-format version).
+#   3. clang-tidy over src/ using compile_commands.json and .clang-tidy.
+#
+# Tools that are not installed are skipped with a notice (the invariant
+# checker is the portable floor); the script still exits 0 so the gate is
+# meaningful on minimal containers and strict where the tools exist.
+#
+# Usage:
+#   scripts/lint.sh [build-dir]        # default build dir: build/
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+echo "== invariants (scripts/check_invariants.py)"
+python3 "${REPO_ROOT}/scripts/check_invariants.py"
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format (dry run)"
+  mapfile -t SOURCES < <(cd "${REPO_ROOT}" \
+    && find src tests bench examples -name '*.cpp' -o -name '*.hpp' | sort)
+  if [[ "${LINT_FORMAT:-}" == "strict" ]]; then
+    (cd "${REPO_ROOT}" && clang-format --dry-run --Werror "${SOURCES[@]}")
+  elif ! (cd "${REPO_ROOT}" && clang-format --dry-run --Werror "${SOURCES[@]}" 2>/dev/null); then
+    echo "-- formatting drift detected (advisory; LINT_FORMAT=strict to enforce)"
+  fi
+else
+  echo "-- clang-format not installed; skipping format check"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    echo "-- exporting compile_commands.json (${BUILD_DIR})"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+  fi
+  echo "== clang-tidy (.clang-tidy, ${BUILD_DIR}/compile_commands.json)"
+  mapfile -t TIDY_SOURCES < <(cd "${REPO_ROOT}" && find src -name '*.cpp' | sort)
+  (cd "${REPO_ROOT}" && clang-tidy -p "${BUILD_DIR}" --quiet "${TIDY_SOURCES[@]}")
+else
+  echo "-- clang-tidy not installed; skipping tidy pass"
+fi
+
+echo "== OK (lint)"

@@ -62,7 +62,7 @@ T read_pod(const std::string& in, std::size_t* pos) {
 taskrt::OutputCodec field_codec() {
   taskrt::OutputCodec codec;
   codec.serialize = [](const std::any& value) {
-    const auto& field = std::any_cast<const common::Field&>(value);
+    const auto& field = taskrt::any_ref<common::Field>(value);
     std::string out;
     append_pod(out, static_cast<std::uint64_t>(field.nlat()));
     append_pod(out, static_cast<std::uint64_t>(field.nlon()));
@@ -85,7 +85,7 @@ taskrt::OutputCodec field_codec() {
 taskrt::OutputCodec cube_codec(datacube::Server* server) {
   taskrt::OutputCodec codec;
   codec.serialize = [server](const std::any& value) {
-    const auto& pid = std::any_cast<const std::string&>(value);
+    const auto& pid = taskrt::any_ref<std::string>(value);
     auto cube = server->get(pid);
     std::string out;
     if (!cube.ok()) return out;
@@ -123,7 +123,9 @@ taskrt::OutputCodec cube_codec(datacube::Server* server) {
       dim.size = read_pod<std::uint64_t>(in, &pos);
       const auto ncoords = read_pod<std::uint64_t>(in, &pos);
       dim.coords.resize(ncoords);
-      std::memcpy(dim.coords.data(), in.data() + pos, ncoords * sizeof(double));
+      if (ncoords != 0) {  // empty vector data() may be null; memcpy forbids it
+        std::memcpy(dim.coords.data(), in.data() + pos, ncoords * sizeof(double));
+      }
       pos += ncoords * sizeof(double);
       return dim;
     };
@@ -341,6 +343,7 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
   rt_options.workers = cfg.workers;
   rt_options.checkpoint_dir = cfg.checkpoint_dir;
   rt_options.container_startup_ms = cfg.container_startup_ms;
+  rt_options.verify = cfg.verify;
   if (cfg.heterogeneous) {
     // Future-work deployment: dedicated node classes per requirement kind
     // ("large HPC systems for the ESM simulation, data-oriented ... systems
@@ -442,11 +445,9 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     rt.submit("esm_simulation", constrain(TaskOptions{}, "hpc"),
               {In(forcing_h), InOut(model_h)},
               [esm_cfg, dir, year, diagnostics, diag_dir, &bytes_written](TaskContext& ctx) {
+                const auto& forcing = ctx.in_as<esm::ForcingTable>(0);
                 auto model = ctx.in_as<std::shared_ptr<esm::EsmModel>>(1);
-                if (!model) {
-                  const auto& forcing = ctx.in_as<esm::ForcingTable>(0);
-                  model = std::make_shared<esm::EsmModel>(esm_cfg, forcing);
-                }
+                if (!model) model = std::make_shared<esm::EsmModel>(esm_cfg, forcing);
                 const common::LatLonGrid& g = model->grid();
                 esm::DiagnosticsRecorder recorder;
                 int calendar_year = 0;
@@ -784,8 +785,12 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
                In(handles.ml_fixes), In(handles.tracks), In(heat_dur_h), In(cold_dur_h),
                Out(handles.validation)},
               [&dc_server, calendar_year, days](TaskContext& ctx) {
+                const auto& heat_max = ctx.in_as<common::Field>(0);
                 const auto& heat_count = ctx.in_as<common::Field>(1);
+                const auto& heat_freq = ctx.in_as<common::Field>(2);
+                const auto& cold_max = ctx.in_as<common::Field>(3);
                 const auto& cold_count = ctx.in_as<common::Field>(4);
+                const auto& cold_freq = ctx.in_as<common::Field>(5);
                 const auto& fixes = ctx.in_as<std::vector<extremes::DetectionFix>>(6);
                 const auto& tracks = ctx.in_as<std::vector<extremes::TcTrack>>(7);
                 (void)dc_server.delete_cube(ctx.in_as<std::string>(8));
@@ -812,7 +817,11 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
                 summary["year"] = calendar_year;
                 summary["days"] = days;
                 summary["heat_wave_mean_count"] = heat_count.mean();
+                summary["heat_wave_max_duration"] = heat_max.max();
+                summary["heat_wave_mean_frequency"] = heat_freq.mean();
                 summary["cold_wave_mean_count"] = cold_count.mean();
+                summary["cold_wave_max_duration"] = cold_max.max();
+                summary["cold_wave_mean_frequency"] = cold_freq.mean();
                 summary["ml_fixes"] = fixes.size();
                 summary["deterministic_tracks"] = tracks.size();
                 summary["ml_fixes_confirmed_by_tracker"] = agreeing;
@@ -861,7 +870,7 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     for (int received = 0; received < cfg.years; ++received) {
       std::optional<std::any> event = year_stream.next();
       if (!event) break;
-      const int year_index = std::any_cast<int>(*event);
+      const int year_index = taskrt::any_as<int>(*event);
       LOG_INFO(kLogTag) << "year " << (cfg.esm.start_year + year_index)
                         << " complete; launching analysis";
       submit_year_analysis(year_index);
@@ -944,10 +953,18 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
   results.summary["bytes_written"] = static_cast<double>(bytes_written.load());
   results.summary["files_read"] = static_cast<double>(files_read.load());
 
+  rt.wait_all();  // re-lint: final_maps and the result syncs happened since
   results.trace = rt.trace();
   results.runtime_stats = rt.stats();
   results.datacube_stats = dc_server.stats();
   results.bytes_written = bytes_written.load();
+  results.verify_report = rt.verify_report();
+  if (rt.verify_enabled()) {
+    results.summary["verify_errors"] = results.verify_report.count(taskrt::verify::Severity::kError);
+    results.summary["verify_warnings"] =
+        results.verify_report.count(taskrt::verify::Severity::kWarning);
+    results.summary["verify_notes"] = results.verify_report.count(taskrt::verify::Severity::kNote);
+  }
   return results;
 }
 

@@ -77,6 +77,11 @@ struct WorkflowConfig {
   /// Record per-day online diagnostics during the simulation and write one
   /// diagnostics file per year (section 3's in-simulation indicators).
   bool online_diagnostics = false;
+
+  /// Task-runtime verifier (directionality checks + graph lint). The default
+  /// follows the CLIMATE_VERIFY environment variable; findings land in
+  /// WorkflowResults::verify_report without changing execution.
+  taskrt::VerifyMode verify = taskrt::VerifyMode::kAuto;
 };
 
 /// Per-year outputs.
@@ -103,6 +108,7 @@ struct WorkflowResults {
   std::uint64_t bytes_written = 0;        ///< Daily-file volume (section 5.2).
   std::string final_map_file;
   Json summary;                           ///< validate_store aggregation.
+  taskrt::verify::Report verify_report;   ///< Verifier findings (empty when off).
 };
 
 /// Pre-trains the TC localizer "on historical data": runs a one-year

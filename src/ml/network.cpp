@@ -12,11 +12,16 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
   Tensor x = input;
 #if !defined(CLIMATE_OBS_DISABLED)
   if (obs::enabled()) {
-    if (layer_hists_.size() != layers_.size()) {
-      layer_hists_.clear();
-      for (std::size_t i = 0; i < layers_.size(); ++i) {
-        layer_hists_.push_back(obs::MetricsRegistry::global().histogram(
-            "ml.layer_forward_ns.L" + std::to_string(i) + "_" + layers_[i]->name()));
+    const std::size_t nlayers = layers_.size();
+    if (hists_ready_.load(std::memory_order_acquire) != nlayers) {
+      std::lock_guard<std::mutex> lock(hists_mutex_);
+      if (hists_ready_.load(std::memory_order_relaxed) != nlayers) {
+        layer_hists_.clear();
+        for (std::size_t i = 0; i < nlayers; ++i) {
+          layer_hists_.push_back(obs::MetricsRegistry::global().histogram(
+              "ml.layer_forward_ns.L" + std::to_string(i) + "_" + layers_[i]->name()));
+        }
+        hists_ready_.store(nlayers, std::memory_order_release);
       }
     }
     for (std::size_t i = 0; i < layers_.size(); ++i) {

@@ -2,7 +2,9 @@
 // the training/inference core of the TC localizer.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,7 +57,12 @@ class Sequential {
   // Per-layer forward-latency histograms ("ml.layer_forward_ns.L<i>_<name>"),
   // resolved lazily on the first instrumented forward pass. Registry handles
   // are stable for the process lifetime, so raw pointers are safe to cache.
+  // Inference may run from several runtime workers at once, so the lazy init
+  // is double-checked: hists_ready_ holds the layer count the cache was built
+  // for (acquire/release pairs with the build under hists_mutex_).
   std::vector<obs::Histogram*> layer_hists_;
+  std::atomic<std::size_t> hists_ready_{0};
+  std::mutex hists_mutex_;
 };
 
 /// Binary cross-entropy over sigmoid outputs in (0,1). Returns the mean loss

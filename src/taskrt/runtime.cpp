@@ -2,16 +2,48 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <map>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "obs/obs.hpp"
+#include "taskrt/verify/graph_lint.hpp"
+#include "taskrt/verify/verifier.hpp"
 
 namespace climate::taskrt {
 
 namespace {
 constexpr const char* kLogTag = "taskrt";
+
+// CLIMATE_VERIFY=1/true/on enables the verifier; unset/0/false/off disables.
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return false;
+  std::string value(raw);
+  for (char& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return !(value.empty() || value == "0" || value == "false" || value == "off" || value == "no");
+}
+
+bool verify_armed(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOn: return true;
+    case VerifyMode::kOff: return false;
+    case VerifyMode::kAuto: return env_flag("CLIMATE_VERIFY");
+  }
+  return false;
+}
 }  // namespace
+
+const char* direction_name(Direction direction) {
+  switch (direction) {
+    case Direction::kIn: return "IN";
+    case Direction::kOut: return "OUT";
+    case Direction::kInOut: return "INOUT";
+  }
+  return "?";
+}
 
 const char* failure_policy_name(FailurePolicy policy) {
   switch (policy) {
@@ -40,15 +72,46 @@ const char* task_state_name(TaskState state) {
 const std::any& TaskContext::in(std::size_t idx) const {
   if (idx >= params_.size()) throw std::out_of_range("TaskContext::in: bad parameter index");
   if (params_[idx].direction == Direction::kOut) {
-    throw std::logic_error("TaskContext::in on an OUT parameter");
+    if (verifier_ != nullptr) {
+      verify::Diagnostic diag;
+      diag.kind = verify::DiagKind::kOutReadBeforeWrite;
+      diag.severity = verify::Severity::kError;
+      diag.task = task_id_;
+      diag.task_name = name_;
+      diag.param_index = static_cast<int>(idx);
+      diag.data = params_[idx].handle.id;
+      diag.message = "ctx.in() on an OUT parameter";
+      diag.hint = "OUT slots have no input value; declare the parameter INOUT if the task "
+                  "must read the previous version";
+      verifier_->add(std::move(diag));
+    }
+    throw DirectionalityError(
+        common::Status::FailedPrecondition("TaskContext::in on an OUT parameter"), name_, idx,
+        Direction::kOut);
   }
+  if (idx < access_.size()) access_[idx].read = true;
   return inputs_[idx];
 }
 
 void TaskContext::set_out(std::size_t idx, std::any value, std::size_t size_bytes) {
   if (idx >= params_.size()) throw std::out_of_range("TaskContext::set_out: bad parameter index");
   if (params_[idx].direction == Direction::kIn) {
-    throw std::logic_error("TaskContext::set_out on an IN parameter");
+    if (verifier_ != nullptr) {
+      verify::Diagnostic diag;
+      diag.kind = verify::DiagKind::kWriteOnInParam;
+      diag.severity = verify::Severity::kError;
+      diag.task = task_id_;
+      diag.task_name = name_;
+      diag.param_index = static_cast<int>(idx);
+      diag.data = params_[idx].handle.id;
+      diag.message = "ctx.set_out() on an IN parameter";
+      diag.hint = "declare the parameter OUT (fresh value) or INOUT (update in place) so the "
+                  "runtime versions the datum and orders downstream readers";
+      verifier_->add(std::move(diag));
+    }
+    throw DirectionalityError(
+        common::Status::FailedPrecondition("TaskContext::set_out on an IN parameter"), name_, idx,
+        Direction::kIn);
   }
   outputs_[idx].value = std::move(value);
   outputs_[idx].size_bytes = size_bytes;
@@ -79,6 +142,10 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
     nodes_ = options_.nodes;
   }
   if (!options_.checkpoint_dir.empty()) checkpoints_.emplace(options_.checkpoint_dir);
+  if (verify_armed(options_.verify)) {
+    verifier_ = std::make_unique<verify::Verifier>();
+    LOG_DEBUG(kLogTag) << "verifier armed (directionality checks + graph lint)";
+  }
 
   node_queues_.resize(nodes_.size());
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
@@ -101,6 +168,21 @@ Runtime::~Runtime() {
   }
   scheduler_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+
+  if (verifier_) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Final lint: refresh findings with the complete sync/release picture
+      // (wait_all lints too, but syncs may have happened since).
+      lint_graph_locked(/*force=*/true);
+    }
+    if (const char* report_path = std::getenv("CLIMATE_VERIFY_REPORT")) {
+      const Status st = verifier_->write_json_lines(report_path);
+      if (!st.ok()) {
+        LOG_WARN(kLogTag) << "verify report write failed: " << st.to_string();
+      }
+    }
+  }
 }
 
 std::int64_t Runtime::now_ns() const {
@@ -191,6 +273,34 @@ TaskId Runtime::submit(const std::string& name, const TaskOptions& options,
       record.readers_since_write.push_back(id);
     }
     task->bindings.push_back(binding);
+  }
+
+  if (verifier_) {
+    // Same handle bound to several parameters: two reads are merely redundant
+    // (note), but once a write is involved the in-task view is ambiguous —
+    // the read slot holds the pre-task version while the write creates a new
+    // one, which rarely matches what the author meant.
+    std::map<DataId, std::size_t> first_use;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      auto [it, inserted] = first_use.emplace(params[i].handle.id, i);
+      if (inserted) continue;
+      const bool write_involved = params[it->second].direction != Direction::kIn ||
+                                  params[i].direction != Direction::kIn;
+      verify::Diagnostic diag;
+      diag.kind = verify::DiagKind::kAliasedParams;
+      diag.severity = write_involved ? verify::Severity::kError : verify::Severity::kNote;
+      diag.task = id;
+      diag.task_name = name;
+      diag.param_index = static_cast<int>(i);
+      diag.data = params[i].handle.id;
+      diag.message = "parameter aliases param " + std::to_string(it->second) + " (" +
+                     direction_name(params[it->second].direction) + " + " +
+                     direction_name(params[i].direction) + " on the same datum)";
+      diag.hint = write_involved
+                      ? "bind the datum once (INOUT reads and updates in place)"
+                      : "bind the datum once; duplicate IN parameters add no information";
+      verifier_->add(std::move(diag));
+    }
   }
 
   ++stats_.tasks_submitted;
@@ -404,6 +514,8 @@ void Runtime::execute_task(TaskId id, int node_index) {
     ctx.params_ = task.original_params;
     ctx.inputs_.resize(task.bindings.size());
     ctx.outputs_.resize(task.bindings.size());
+    ctx.access_.resize(task.bindings.size());
+    ctx.verifier_ = verifier_.get();
     ctx.node_ = node_index;
     ctx.task_id_ = id;
     ctx.name_ = task.name;
@@ -457,6 +569,44 @@ void Runtime::execute_task(TaskId id, int node_index) {
       error = "unknown exception";
     }
     obs::observe_histogram("taskrt.task_ns." + ctx.name_, static_cast<double>(obs::now_ns() - fn_start));
+  }
+
+  if (verifier_ && success) {
+    // Post-body audit of the recorded read/write sets against the declared
+    // directions. An unwritten OUT is an error — downstream readers would see
+    // an empty value, the classic symptom of writing through a captured
+    // reference instead of set_out(). An untouched INOUT silently forwards
+    // the previous version (warning), and an unread IN is advisory only: it
+    // may be a deliberate ordering-only edge (note).
+    for (std::size_t i = 0; i < ctx.params_.size(); ++i) {
+      const Direction direction = ctx.params_[i].direction;
+      verify::Diagnostic diag;
+      diag.task = id;
+      diag.task_name = ctx.name_;
+      diag.param_index = static_cast<int>(i);
+      diag.data = ctx.params_[i].handle.id;
+      if (direction != Direction::kIn && !ctx.outputs_[i].written) {
+        diag.kind = direction == Direction::kOut ? verify::DiagKind::kOutNeverWritten
+                                                 : verify::DiagKind::kInOutNeverWritten;
+        diag.severity = direction == Direction::kOut ? verify::Severity::kError
+                                                     : verify::Severity::kWarning;
+        diag.message = std::string("declared ") + direction_name(direction) +
+                       " but the task body never called set_out()";
+        diag.hint = direction == Direction::kOut
+                        ? "readers will see an empty value; call ctx.set_out(), or check for a "
+                          "write through a captured reference that bypasses the runtime"
+                        : "the previous version is forwarded unchanged; declare IN if the task "
+                          "only reads";
+        verifier_->add(std::move(diag));
+      } else if (direction == Direction::kIn && !ctx.access_[i].read) {
+        diag.kind = verify::DiagKind::kInNeverRead;
+        diag.severity = verify::Severity::kNote;
+        diag.message = "declared IN but the task body never called in()";
+        diag.hint = "drop the parameter, or keep it only if the dependency edge itself is the "
+                    "point (ordering-only input)";
+        verifier_->add(std::move(diag));
+      }
+    }
   }
 
   // Move the produced outputs into the task record under the lock inside
@@ -638,6 +788,26 @@ std::any Runtime::sync(DataHandle handle) {
   auto it = data_.find(handle.id);
   if (it == data_.end()) throw std::logic_error("sync: unknown data handle");
   const std::size_t latest = it->second.versions.size() - 1;
+  {
+    // A datum with no initial value and no submitted writer can never become
+    // ready — waiting would deadlock the master forever. Fail loudly instead.
+    const VersionRecord& version = it->second.versions[latest];
+    if (!version.ready && !version.cancelled && version.writer == kNoTask) {
+      if (verifier_) {
+        verify::Diagnostic diag;
+        diag.kind = verify::DiagKind::kSyncNeverWritten;
+        diag.severity = verify::Severity::kError;
+        diag.data = handle.id;
+        diag.message = "sync() on a datum with no initial value and no producer task";
+        diag.hint = "submit the producing task before sync(), or create the datum with an "
+                    "initial value";
+        verifier_->add(std::move(diag));
+      }
+      throw WorkflowError("sync: data " + std::to_string(handle.id) +
+                          " was never written and has no producer task");
+    }
+  }
+  synced_data_.insert(handle.id);
   completion_cv_.wait(lock, [&] {
     const VersionRecord& version = it->second.versions[latest];
     return version.ready || version.cancelled || !fatal_error_.empty();
@@ -658,6 +828,7 @@ std::any Runtime::sync(DataHandle handle) {
 void Runtime::wait_all() {
   std::unique_lock<std::mutex> lock(mutex_);
   completion_cv_.wait(lock, [&] { return terminal_tasks_ == tasks_.size(); });
+  if (verifier_) lint_graph_locked();  // before the throw: findings survive failure
   if (!fatal_error_.empty()) throw WorkflowError(fatal_error_);
 }
 
@@ -693,6 +864,7 @@ std::size_t Runtime::release_data(DataHandle handle) {
       version.replicas.clear();
     }
   }
+  released_data_.insert(handle.id);
   return released;
 }
 
@@ -705,6 +877,49 @@ TaskState Runtime::task_state(TaskId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (id == kNoTask || id > tasks_.size()) throw std::out_of_range("task_state: bad id");
   return tasks_[id - 1]->state;
+}
+
+verify::GraphView Runtime::build_graph_view_locked() const {
+  verify::GraphView view;
+  view.nodes.reserve(tasks_.size());
+  for (const auto& task : tasks_) {
+    verify::GraphNode node;
+    node.id = task->id;
+    node.name = task->name;
+    node.deps.assign(task->trace_deps.begin(), task->trace_deps.end());
+    node.accesses.reserve(task->bindings.size());
+    for (const ParamBinding& binding : task->bindings) {
+      verify::GraphAccess access;
+      access.data = binding.data;
+      access.direction = binding.direction;
+      access.read_version = binding.read_version;
+      access.write_version = binding.write_version;
+      node.accesses.push_back(access);
+    }
+    node.checkpoint_key = task->options.checkpoint_key;
+    node.checkpoint_codec_ok = task->options.codec.usable();
+    view.nodes.push_back(std::move(node));
+  }
+  view.synced = synced_data_;
+  view.released = released_data_;
+  view.checkpointing_enabled = checkpoints_.has_value();
+  return view;
+}
+
+void Runtime::lint_graph_locked(bool force) {
+  if (!verifier_ || (!force && tasks_.size() == linted_tasks_)) return;
+  verifier_->set_graph_diagnostics(verify::lint_graph(build_graph_view_locked()));
+  linted_tasks_ = tasks_.size();
+}
+
+verify::Report Runtime::verify_report() const {
+  if (!verifier_) return verify::Report();
+  return verifier_->report();
+}
+
+std::vector<verify::Diagnostic> Runtime::lint_graph() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return verify::lint_graph(build_graph_view_locked());
 }
 
 Trace Runtime::trace() const {

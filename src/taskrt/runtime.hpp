@@ -54,8 +54,14 @@
 #include "taskrt/checkpoint.hpp"
 #include "taskrt/trace.hpp"
 #include "taskrt/types.hpp"
+#include "taskrt/verify/diagnostic.hpp"
 
 namespace climate::taskrt {
+
+namespace verify {
+class Verifier;
+struct GraphView;
+}  // namespace verify
 
 class Runtime;
 
@@ -63,13 +69,14 @@ class Runtime;
 /// output slots, plus placement metadata.
 class TaskContext {
  public:
-  /// Value of parameter `idx` (IN or INOUT). Throws on OUT params.
+  /// Value of parameter `idx` (IN or INOUT). Throws DirectionalityError on
+  /// OUT params (and records a verifier diagnostic when verification is on).
   const std::any& in(std::size_t idx) const;
 
-  /// Typed convenience over in().
+  /// Typed convenience over in(); failures name the expected and held types.
   template <typename T>
   const T& in_as(std::size_t idx) const {
-    return std::any_cast<const T&>(in(idx));
+    return any_ref<T>(in(idx));
   }
 
   /// Sets the value produced for parameter `idx` (OUT or INOUT).
@@ -96,10 +103,16 @@ class TaskContext {
     std::size_t size_bytes = 0;
     bool written = false;
   };
+  /// Per-parameter access record kept for the verifier (read/write sets).
+  struct Access {
+    bool read = false;
+  };
 
   std::vector<Param> params_;
   std::vector<std::any> inputs_;   // indexed like params_; empty for OUT
   std::vector<Slot> outputs_;      // indexed like params_; used for OUT/INOUT
+  mutable std::vector<Access> access_;  // indexed like params_; verifier only
+  verify::Verifier* verifier_ = nullptr;  // non-null when verification is on
   int node_ = -1;
   TaskId task_id_ = 0;
   std::string name_;
@@ -136,6 +149,13 @@ struct RuntimeOptions {
 
   /// Default size hint in bytes for data without an explicit hint.
   std::size_t default_size_hint = 8;
+
+  /// Arms the verifier: per-parameter read/write tracking against the
+  /// declared directions plus a graph lint at sync/shutdown. kAuto follows
+  /// the CLIMATE_VERIFY environment variable. Diagnostics never change
+  /// execution; they surface through logs, metrics, verify_report() and the
+  /// CLIMATE_VERIFY_REPORT JSON-lines file.
+  VerifyMode verify = VerifyMode::kAuto;
 };
 
 /// Thrown by sync()/wait_all() when the workflow failed (a task with the
@@ -175,10 +195,10 @@ class Runtime {
   /// produced, then returns its value (synchronized to the master).
   std::any sync(DataHandle handle);
 
-  /// Typed convenience over sync().
+  /// Typed convenience over sync(); failures name the expected and held types.
   template <typename T>
   T sync_as(DataHandle handle) {
-    return std::any_cast<T>(sync(handle));
+    return any_as<T>(sync(handle));
   }
 
   /// Blocks until every submitted task reached a terminal state. Throws
@@ -203,6 +223,18 @@ class Runtime {
 
   /// State of one task.
   TaskState task_state(TaskId id) const;
+
+  /// Whether the verifier is armed for this runtime.
+  bool verify_enabled() const { return verifier_ != nullptr; }
+
+  /// Snapshot of every verifier finding so far (empty when verification is
+  /// off). Complete after wait_all(), which runs the graph lint.
+  verify::Report verify_report() const;
+
+  /// Runs the graph lint passes over the current task graph on demand,
+  /// regardless of the verify mode (wait_all runs this automatically when
+  /// verification is armed).
+  std::vector<verify::Diagnostic> lint_graph() const;
 
  private:
   struct VersionRecord {
@@ -264,6 +296,8 @@ class Runtime {
   int pick_node(const TaskRecord& task);
   bool node_eligible(int node_index, const TaskRecord& task) const;
   std::int64_t now_ns() const;
+  verify::GraphView build_graph_view_locked() const;
+  void lint_graph_locked(bool force = false);
 
   RuntimeOptions options_;
   std::vector<NodeSpec> nodes_;
@@ -284,6 +318,12 @@ class Runtime {
   std::size_t round_robin_cursor_ = 0;  // used when locality_aware is off
   RuntimeStats stats_;
   std::vector<std::thread> workers_;
+
+  // --- verifier state (null/empty when verification is off) ---
+  std::unique_ptr<verify::Verifier> verifier_;
+  std::set<DataId> synced_data_;    // data the master pulled via sync()
+  std::set<DataId> released_data_;  // data explicitly released
+  std::size_t linted_tasks_ = 0;    // graph size at the last lint run
 };
 
 }  // namespace climate::taskrt

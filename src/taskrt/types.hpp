@@ -8,8 +8,12 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <typeinfo>
 #include <vector>
+
+#include "common/status.hpp"
 
 namespace climate::taskrt {
 
@@ -23,6 +27,61 @@ inline constexpr TaskId kNoTask = 0;
 /// Parameter directionality, mirroring the @task decorator clauses: IN is
 /// consumed, OUT is produced, INOUT is read and updated in place.
 enum class Direction { kIn, kOut, kInOut };
+
+const char* direction_name(Direction direction);
+
+/// How the runtime verifier (directionality checking + graph lint) is armed:
+/// kAuto follows the CLIMATE_VERIFY environment variable, kOn/kOff override
+/// it per runtime (tests exercising deliberate misuse switch it off).
+enum class VerifyMode { kAuto, kOn, kOff };
+
+/// Thrown by TaskContext when a task accesses a parameter against its
+/// declared direction (ctx.in() on OUT, ctx.set_out() on IN, bad index).
+/// Carries a structured Status plus the offending parameter so the verifier
+/// and callers get uniform, self-describing errors instead of bare
+/// logic_error strings.
+class DirectionalityError : public std::logic_error {
+ public:
+  DirectionalityError(common::Status status, std::string task_name, std::size_t param_index,
+                      Direction direction)
+      : std::logic_error("task '" + task_name + "' param " + std::to_string(param_index) + " (" +
+                         direction_name(direction) + "): " + status.to_string()),
+        status_(std::move(status)),
+        task_name_(std::move(task_name)),
+        param_index_(param_index),
+        direction_(direction) {}
+
+  const common::Status& status() const { return status_; }
+  const std::string& task_name() const { return task_name_; }
+  std::size_t param_index() const { return param_index_; }
+  Direction direction() const { return direction_; }
+
+ private:
+  common::Status status_;
+  std::string task_name_;
+  std::size_t param_index_;
+  Direction direction_;
+};
+
+/// Checked std::any casts with readable failure messages (expected vs held
+/// type). These helpers — and the TaskContext/Runtime accessors built on
+/// them — are the only sanctioned any-casts outside src/taskrt/; the repo
+/// invariant is enforced by scripts/lint.sh (check_invariants.py).
+template <typename T>
+const T& any_ref(const std::any& value) {
+  const T* typed = std::any_cast<T>(&value);
+  if (typed == nullptr) {
+    throw std::runtime_error(std::string("any_ref: expected ") + typeid(T).name() + ", holds " +
+                             (value.has_value() ? value.type().name() : "(empty)"));
+  }
+  return *typed;
+}
+
+/// Value-returning variant of any_ref.
+template <typename T>
+T any_as(const std::any& value) {
+  return any_ref<T>(value);
+}
 
 /// A lightweight reference to runtime-managed data. Copyable; all state
 /// lives in the runtime's data store.

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "taskrt/stream.hpp"
+#include "taskrt/types.hpp"
 
 namespace climate::taskrt {
 namespace {
@@ -21,7 +22,7 @@ TEST(DataStream, FifoOrder) {
   for (int i = 0; i < 5; ++i) {
     auto item = stream.next();
     ASSERT_TRUE(item.has_value());
-    EXPECT_EQ(std::any_cast<int>(*item), i);
+    EXPECT_EQ(any_as<int>(*item), i);
   }
   EXPECT_FALSE(stream.next().has_value());
   EXPECT_TRUE(stream.finished());
@@ -36,7 +37,7 @@ TEST(DataStream, BlockingConsumerWakesOnPublish) {
   });
   auto item = stream.next();
   ASSERT_TRUE(item.has_value());
-  EXPECT_EQ(std::any_cast<std::string>(*item), "payload");
+  EXPECT_EQ(any_as<std::string>(*item), "payload");
   producer.join();
 }
 

@@ -100,7 +100,9 @@ TEST(Runtime, UnknownHandleThrows) {
 }
 
 TEST(Runtime, OutParamNotSetYieldsEmptyAny) {
-  Runtime rt;
+  RuntimeOptions options;
+  options.verify = VerifyMode::kOff;  // deliberate misuse; not a verifier test
+  Runtime rt(options);
   DataHandle out = rt.create_data();
   rt.submit("lazy", {Out(out)}, [](TaskContext&) {});
   const std::any value = rt.sync(out);
@@ -108,14 +110,18 @@ TEST(Runtime, OutParamNotSetYieldsEmptyAny) {
 }
 
 TEST(Runtime, InOutUnsetKeepsPreviousValue) {
-  Runtime rt;
+  RuntimeOptions options;
+  options.verify = VerifyMode::kOff;  // deliberate misuse; not a verifier test
+  Runtime rt(options);
   DataHandle data = rt.create_data(std::any(7));
   rt.submit("noop", {InOut(data)}, [](TaskContext&) {});
   EXPECT_EQ(rt.sync_as<int>(data), 7);
 }
 
 TEST(Runtime, ContextAccessorsValidateDirections) {
-  Runtime rt;
+  RuntimeOptions options;
+  options.verify = VerifyMode::kOff;  // deliberate misuse; not a verifier test
+  Runtime rt(options);
   DataHandle in_h = rt.create_data(std::any(1));
   DataHandle out_h = rt.create_data();
   std::atomic<bool> in_on_out_threw{false};

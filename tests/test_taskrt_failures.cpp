@@ -18,7 +18,7 @@ namespace fs = std::filesystem;
 taskrt::OutputCodec int_codec() {
   OutputCodec codec;
   codec.serialize = [](const std::any& value) {
-    return std::to_string(std::any_cast<int>(value));
+    return std::to_string(any_as<int>(value));
   };
   codec.deserialize = [](const std::string& blob) -> std::any { return std::stoi(blob); };
   return codec;

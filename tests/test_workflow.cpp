@@ -93,6 +93,21 @@ TEST_F(WorkflowTest, EndToEndSingleYear) {
   EXPECT_EQ(results->summary["years"][0].get_int("year"), 2015);
 }
 
+TEST_F(WorkflowTest, EndToEndRunIsVerifierClean) {
+  // The whole case-study graph under the taskrt verifier: every declared
+  // direction must match what the task bodies actually do, and the graph
+  // lint must find no cycles, races, orphans or checkpoint gaps.
+  WorkflowConfig config = small_config(dir_);
+  config.verify = taskrt::VerifyMode::kOn;
+  ExtremeEventsWorkflow workflow(config);
+  auto results = workflow.run();
+  ASSERT_TRUE(results.ok()) << results.status().to_string();
+  EXPECT_TRUE(results->verify_report.empty()) << results->verify_report.to_string();
+  EXPECT_EQ(results->summary.get_int("verify_errors"), 0);
+  EXPECT_EQ(results->summary.get_int("verify_warnings"), 0);
+  EXPECT_EQ(results->summary.get_int("verify_notes"), 0);
+}
+
 TEST_F(WorkflowTest, IndicesMatchDirectComputation) {
   WorkflowConfig config = small_config(dir_);
   ExtremeEventsWorkflow workflow(config);
