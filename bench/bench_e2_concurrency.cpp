@@ -17,6 +17,7 @@
 
 #include "core/workflow.hpp"
 #include "obs/obs.hpp"
+#include "obs/prof/profile.hpp"
 #include "taskrt/stream.hpp"
 #include "taskrt/trace.hpp"
 
@@ -76,6 +77,11 @@ void print_comparison() {
                 staged->makespan_ms, streaming->makespan_ms,
                 staged->makespan_ms / streaming->makespan_ms, 100.0 * overlap,
                 100.0 * utilization);
+    if (workers == 4) {
+      // Attribution report of the widest streaming run: which task functions
+      // hold the critical path once analysis overlaps the simulation.
+      std::printf("\n%s\n", streaming->profile().text_report().c_str());
+    }
   }
   std::printf("\npaper shape: the integrated workflow wins because per-year analysis\n"
               "overlaps the continuing simulation; the advantage grows with workers\n"
@@ -113,12 +119,16 @@ void emit_merged_trace() {
 
   const std::string trace_path = "/tmp/bench_e2_trace.perfetto.json";
   const std::string prom_path = "/tmp/bench_e2_metrics.prom";
-  obs::write_text_file(trace_path,
-                       obs::chrome_trace_json(obs::SpanCollector::global().snapshot(),
-                                              climate::taskrt::to_obs_track_events(results->trace)));
+  obs::write_text_file(
+      trace_path,
+      obs::chrome_trace_json(obs::SpanCollector::global().snapshot(),
+                             climate::taskrt::to_obs_track_events(results->trace),
+                             obs::prof::to_flow_events(results->trace)));
   obs::write_text_file(prom_path, obs::prometheus_text(obs::MetricsRegistry::global().snapshot()));
-  std::printf("merged Perfetto trace (spans + taskrt node tracks): %s\n", trace_path.c_str());
-  std::printf("Prometheus metrics snapshot:                        %s\n\n", prom_path.c_str());
+  std::printf("merged Perfetto trace (spans + node tracks + dep flows): %s\n", trace_path.c_str());
+  std::printf("Prometheus metrics snapshot:                             %s\n", prom_path.c_str());
+  std::printf("run report (also at %s/run/run_report.txt):\n\n%s\n", base.c_str(),
+              results->profile().text_report().c_str());
 }
 
 void BM_StreamingDetectionLoop(benchmark::State& state) {

@@ -20,6 +20,8 @@
 #include "datacube/client.hpp"
 #include "esm/climatology.hpp"
 #include "extremes/heatwaves.hpp"
+#include "obs/prof/profile.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -111,6 +113,7 @@ dc::ServerStats run_pipeline(const Setup& setup, bool reload_baseline, double* w
 }
 
 void print_comparison() {
+  climate::obs::SpanCollector::global().clear();
   std::printf("=== E3: baseline kept in memory vs reloaded per index ===\n");
   std::printf("three indices per year, 48x72 grid, 120-day years\n\n");
   std::printf("%6s %22s %12s %14s %10s\n", "years", "strategy", "disk reads", "bytes read",
@@ -132,6 +135,12 @@ void print_comparison() {
   std::printf("\npaper shape: reuse needs 1 baseline read total (1 + years reads overall)\n"
               "while reloading pays 3 baseline reads per year (4 x years reads overall);\n"
               "the gap in reads and bytes grows linearly with the number of years.\n\n");
+
+  // Where the pipeline time itself went (no task runtime here, so the
+  // attribution comes from the recorded datacube spans).
+  const auto profile =
+      climate::obs::prof::profile_spans(climate::obs::SpanCollector::global().snapshot());
+  std::printf("%s\n", profile.text_report().c_str());
 }
 
 void BM_ImportBaseline(benchmark::State& state) {

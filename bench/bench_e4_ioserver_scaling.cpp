@@ -19,6 +19,7 @@
 #include "common/thread_pool.hpp"
 #include "datacube/server.hpp"
 #include "obs/obs.hpp"
+#include "obs/prof/profile.hpp"
 
 namespace {
 
@@ -41,10 +42,13 @@ void emit_trace_artifacts() {
   namespace obs = climate::obs;
   const std::string trace_path = "/tmp/bench_e4_trace.perfetto.json";
   const std::string prom_path = "/tmp/bench_e4_metrics.prom";
-  obs::write_text_file(trace_path, obs::chrome_trace_json(obs::SpanCollector::global().snapshot()));
+  const auto spans = obs::SpanCollector::global().snapshot();
+  obs::write_text_file(trace_path, obs::chrome_trace_json(spans));
   obs::write_text_file(prom_path, obs::prometheus_text(obs::MetricsRegistry::global().snapshot()));
   std::printf("Perfetto trace of the operator pipeline: %s\n", trace_path.c_str());
   std::printf("Prometheus metrics snapshot:             %s\n\n", prom_path.c_str());
+  // Span-level attribution of the pipeline (which operators dominated).
+  std::printf("%s\n", obs::prof::profile_spans(spans).text_report().c_str());
 }
 
 void print_scaling() {

@@ -80,12 +80,20 @@ int main(int argc, char** argv) {
                 climate::common::ascii_map(year.heat.count, 64).c_str());
   }
 
-  std::printf("\ntask graph written to %s/workflow.dot\n", out_dir.c_str());
+  // Flight-recorder attribution: critical path, per-function shares, node
+  // utilization. The same report lands in <out_dir>/run_report.{txt,json}.
+  const climate::obs::prof::Analysis profile = results->profile();
+  std::printf("\n%s", profile.text_report().c_str());
+
+  std::printf("\ntask graph written to %s/workflow.dot (critical path highlighted)\n",
+              out_dir.c_str());
   FILE* dot = std::fopen((out_dir + "/workflow.dot").c_str(), "w");
   if (dot) {
-    std::fputs(results->trace.to_dot().c_str(), dot);
+    std::fputs(profile.to_dot().c_str(), dot);
     std::fclose(dot);
   }
+  std::printf("run report in %s/run_report.txt and %s/run_report.json\n", out_dir.c_str(),
+              out_dir.c_str());
   std::printf("index NetCDF files in %s/indices, maps in %s/maps\n", out_dir.c_str(),
               out_dir.c_str());
   return 0;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace climate::common {
@@ -10,7 +11,19 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::atomic<int> g_format{static_cast<int>(LogFormat::kHuman)};
+std::atomic<LogSpanProvider> g_span_provider{nullptr};
 std::mutex g_sink_mutex;
+
+/// Registers an atexit flush of the sink once, on the first emitted record,
+/// so buffered stderr (e.g. redirected to a file) is not lost on exit paths
+/// that skip stream destructors.
+void register_atexit_flush() {
+  static const bool registered = [] {
+    std::atexit([] { std::fflush(stderr); });
+    return true;
+  }();
+  (void)registered;
+}
 
 /// Escapes a string for inclusion in a JSON string literal.
 std::string json_escape(std::string_view s) {
@@ -64,16 +77,27 @@ std::size_t log_thread_id() {
   return id;
 }
 
+void set_log_span_provider(LogSpanProvider provider) { g_span_provider.store(provider); }
+
+LogSpanProvider log_span_provider() { return g_span_provider.load(); }
+
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
   if (static_cast<int>(level) < g_level.load()) return;
   const auto now = std::chrono::system_clock::now().time_since_epoch();
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
   const std::size_t tid = log_thread_id();
+  register_atexit_flush();
   if (log_format() == LogFormat::kJson) {
-    const std::string line =
+    std::string line =
         "{\"ts_ms\":" + std::to_string(ms) + ",\"tid\":" + std::to_string(tid) + ",\"level\":\"" +
         std::string(log_level_name(level)) + "\",\"component\":\"" + json_escape(component) +
-        "\",\"msg\":\"" + json_escape(message) + "\"}";
+        "\",\"msg\":\"" + json_escape(message) + "\"";
+    if (const LogSpanProvider provider = g_span_provider.load()) {
+      if (const std::uint64_t span = provider(); span != 0) {
+        line += ",\"span\":" + std::to_string(span);
+      }
+    }
+    line += "}";
     std::lock_guard<std::mutex> lock(g_sink_mutex);
     std::fprintf(stderr, "%s\n", line.c_str());
     return;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -35,6 +36,14 @@ LogFormat log_format();
 /// Small sequential id of the calling thread (first caller = 0), stable for
 /// the thread's lifetime. Exposed for tests.
 std::size_t log_thread_id();
+
+/// Correlation hook: returns the id of the innermost open observability span
+/// on the calling thread (0 = none). The obs layer installs its provider at
+/// start-up (common/ cannot depend on obs/); JSON-format records then carry
+/// a "span" field so logs join with Perfetto traces by span id.
+using LogSpanProvider = std::uint64_t (*)();
+void set_log_span_provider(LogSpanProvider provider);
+LogSpanProvider log_span_provider();
 
 /// Emits one record to stderr. Thread-safe. Prefer the LOG_* macros below.
 void log_message(LogLevel level, std::string_view component, std::string_view message);

@@ -14,6 +14,7 @@
 #include "esm/model.hpp"
 #include "esm/writer.hpp"
 #include "ncio/ncfile.hpp"
+#include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "taskrt/stream.hpp"
 
@@ -964,6 +965,22 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     results.summary["verify_warnings"] =
         results.verify_report.count(taskrt::verify::Severity::kWarning);
     results.summary["verify_notes"] = results.verify_report.count(taskrt::verify::Severity::kNote);
+  }
+
+  // Flight-recorder run report: critical-path attribution over the executed
+  // graph, written next to the other run artifacts.
+  const obs::prof::Analysis profile = results.profile();
+  obs::write_text_file(cfg.output_dir + "/run_report.txt", profile.text_report());
+  obs::write_text_file(cfg.output_dir + "/run_report.json", profile.json_report().dump_pretty());
+  results.summary["critical_path_ms"] = static_cast<double>(profile.critical_path_ns) / 1e6;
+  results.summary["critical_path_tasks"] = profile.critical_path.size();
+  if (!profile.functions.empty() && profile.functions.front().critical_ns > 0) {
+    const obs::prof::FunctionStat& top = profile.functions.front();
+    results.summary["critical_path_top_function"] = top.name;
+    results.summary["critical_path_top_share"] = top.critical_share;
+    LOG_INFO(kLogTag) << "critical path: " << profile.critical_path.size() << " tasks, "
+                      << static_cast<double>(profile.critical_path_ns) / 1e6 << " ms; " << top.name
+                      << " holds " << 100.0 * top.critical_share << "% of it";
   }
   return results;
 }

@@ -35,6 +35,7 @@
 #include "extremes/skill.hpp"
 #include "extremes/tc_tracker.hpp"
 #include "ml/tc_pipeline.hpp"
+#include "obs/prof/profile.hpp"
 #include "taskrt/runtime.hpp"
 
 namespace climate::core {
@@ -109,6 +110,13 @@ struct WorkflowResults {
   std::string final_map_file;
   Json summary;                           ///< validate_store aggregation.
   taskrt::verify::Report verify_report;   ///< Verifier findings (empty when off).
+
+  /// Attribution profile of the executed task graph (critical path, per-task
+  /// wait/transfer/exec breakdown, node utilization). Recomputed from `trace`
+  /// on each call; run() also writes run_report.{txt,json} to output_dir.
+  obs::prof::Analysis profile(const obs::prof::AnalyzeOptions& options = {}) const {
+    return obs::prof::analyze(trace, options);
+  }
 };
 
 /// Pre-trains the TC localizer "on historical data": runs a one-year

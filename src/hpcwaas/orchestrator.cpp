@@ -1,7 +1,10 @@
 #include "hpcwaas/orchestrator.hpp"
 
+#include <map>
+
 #include "common/strings.hpp"
 #include "obs/obs.hpp"
+#include "obs/prof/profile.hpp"
 
 namespace climate::hpcwaas {
 namespace {
@@ -33,6 +36,7 @@ DeploymentStep Orchestrator::deploy_node(const Topology& topology, const NodeTem
   step.node = node.name;
   step.kind = node.kind;
   obs::Span span("hpcwaas", "deploy:" + node.name);
+  step.start_ns = obs::now_ns();
   const auto begin = std::chrono::steady_clock::now();
 
   switch (node.kind) {
@@ -102,10 +106,51 @@ DeploymentStep Orchestrator::deploy_node(const Topology& topology, const NodeTem
   step.elapsed_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                               begin)
                         .count();
+  step.end_ns = obs::now_ns();
   obs::observe_histogram("hpcwaas.deploy_step_ns." + std::string(node_kind_name(node.kind)),
                          step.elapsed_ms * 1e6);
   return step;
 }
+
+namespace {
+
+/// Replays the executed deployment as a pseudo task trace — one task per
+/// step, dependency edges from the topology's depends_on/host requirements —
+/// so the workflow profiler can attribute the deployment's critical path.
+std::string deployment_run_report(const Topology& topology, const Deployment& deployment) {
+  std::map<std::string, taskrt::TaskId> id_of;
+  for (const DeploymentStep& step : deployment.steps) {
+    if (step.start_ns >= 0) id_of.emplace(step.node, id_of.size() + 1);
+  }
+  std::vector<taskrt::TaskTrace> tasks;
+  tasks.reserve(id_of.size());
+  for (const DeploymentStep& step : deployment.steps) {
+    auto it = id_of.find(step.node);
+    if (it == id_of.end()) continue;
+    taskrt::TaskTrace t;
+    t.id = it->second;
+    t.name = step.node;
+    t.state = step.status.ok() ? taskrt::TaskState::kCompleted : taskrt::TaskState::kFailed;
+    t.node = 0;  // the orchestrator deploys serially
+    t.submit_ns = 0;
+    t.start_ns = step.start_ns;
+    t.end_ns = std::max(step.end_ns, step.start_ns + 1);
+    t.exec_ns = t.end_ns - t.start_ns;
+    if (const NodeTemplate* tmpl = topology.find(step.node)) {
+      auto add_dep = [&](const std::string& name) {
+        auto dep = id_of.find(name);
+        if (dep != id_of.end()) t.deps.push_back(dep->second);
+      };
+      for (const std::string& name : tmpl->depends_on) add_dep(name);
+      if (!tmpl->host.empty()) add_dep(tmpl->host);
+    }
+    tasks.push_back(std::move(t));
+  }
+  if (tasks.empty()) return {};
+  return obs::prof::analyze(taskrt::Trace(std::move(tasks))).text_report();
+}
+
+}  // namespace
 
 Deployment Orchestrator::deploy(const Topology& topology) {
   OBS_SPAN("hpcwaas", "deploy");
@@ -137,6 +182,7 @@ Deployment Orchestrator::deploy(const Topology& topology) {
   deployment.total_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - begin).count();
   deployment.state = failed ? DeploymentState::kFailed : DeploymentState::kDeployed;
+  deployment.run_report = deployment_run_report(topology, deployment);
   return deployment;
 }
 

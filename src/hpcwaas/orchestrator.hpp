@@ -22,6 +22,8 @@ struct DeploymentStep {
   NodeKind kind = NodeKind::kSoftware;
   Status status;
   double elapsed_ms = 0.0;
+  std::int64_t start_ns = -1;  ///< obs::now_ns() clock (profiler input).
+  std::int64_t end_ns = -1;
   std::string detail;  ///< Image id, pipeline report summary, ...
 };
 
@@ -36,6 +38,11 @@ struct Deployment {
   std::vector<std::string> image_ids;
   std::string workflow_node;  ///< Name of the workflow node template.
   double total_ms = 0.0;
+  /// Attribution run report over the executed steps: the topology's
+  /// depends_on/host edges are replayed through the workflow profiler
+  /// (obs/prof), so the report names the steps on the deployment's critical
+  /// path. Empty when nothing was deployed.
+  std::string run_report;
 
   bool ok() const { return state == DeploymentState::kDeployed; }
 };

@@ -119,12 +119,18 @@ Histogram* MetricsRegistry::histogram(std::string_view name, std::vector<double>
   return it->second.get();
 }
 
+void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_.insert_or_assign(std::string(name), std::string(help));
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
   for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
   for (const auto& [name, histogram] : histograms_) snap.histograms[name] = histogram->snapshot();
+  snap.help.insert(help_.begin(), help_.end());
   return snap;
 }
 

@@ -142,6 +142,7 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, std::string> help;  ///< Registered # HELP descriptions.
 };
 
 /// Name -> metric map. Handles are created on first use and stay valid for
@@ -162,6 +163,10 @@ class MetricsRegistry {
   /// latency buckets.
   Histogram* histogram(std::string_view name, std::vector<double> bounds = {});
 
+  /// Registers the Prometheus # HELP description for `name` (any kind).
+  /// Survives reset(); last writer wins.
+  void set_help(std::string_view name, std::string_view help);
+
   MetricsSnapshot snapshot() const;
 
   /// Zeroes every registered metric, keeping handles valid.
@@ -172,6 +177,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 }  // namespace climate::obs

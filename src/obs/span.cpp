@@ -2,11 +2,20 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+
 namespace climate::obs {
 namespace {
 
 std::atomic<std::uint64_t> g_next_span_id{1};
 thread_local std::uint64_t t_current_span = 0;
+
+/// Installs the span-id hook into common/log at static-init time, so JSON
+/// log records carry the enclosing span id without common/ depending on obs/.
+const bool g_log_provider_installed = [] {
+  common::set_log_span_provider(&Span::current_id);
+  return true;
+}();
 
 }  // namespace
 

@@ -130,6 +130,16 @@ void TaskContext::simulate_compute(std::chrono::nanoseconds duration) const {
 // ------------------------------------------------------------------ Runtime
 
 Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  // Prometheus # HELP text for the runtime's metrics (idempotent).
+  auto& registry = obs::MetricsRegistry::global();
+  registry.set_help("taskrt.tasks_submitted", "Tasks submitted to the runtime");
+  registry.set_help("taskrt.transfers", "Inter-node input replica copies");
+  registry.set_help("taskrt.bytes_transferred", "Bytes moved between nodes for input staging");
+  registry.set_help("taskrt.steals", "Ready tasks stolen from another node's queue");
+  registry.set_help("taskrt.ready_queue_depth", "Tasks currently sitting in ready queues");
+  registry.set_help("taskrt.dep_wait_ns", "Submit-to-ready latency (dependency wait)");
+  registry.set_help("taskrt.queue_wait_ns", "Enqueue-to-dequeue latency (ready-queue wait)");
+  registry.set_help("taskrt.checkpoint_save_ns", "Time spent saving task checkpoints");
   if (options_.nodes.empty()) {
     const std::size_t n = std::max<std::size_t>(1, options_.workers);
     for (std::size_t i = 0; i < n; ++i) {
@@ -366,6 +376,11 @@ TaskId Runtime::submit(const std::string& name, const TaskOptions& options,
 void Runtime::enqueue_ready(TaskId id) {
   TaskRecord& task = *tasks_[id - 1];
   task.state = TaskState::kReady;
+  // Lifecycle stamps: ready (dependencies satisfied) once, queued on every
+  // enqueue so retries re-measure their queue wait.
+  const std::int64_t now = now_ns();
+  if (task.ready_ns < 0) task.ready_ns = now;
+  task.queued_ns = now;
   const int node = pick_node(task);
   if (node < 0) {
     // No node satisfies the constraints: unschedulable, treat as failed.
@@ -499,6 +514,7 @@ void Runtime::worker_loop(int node_index) {
 void Runtime::execute_task(TaskId id, int node_index) {
   TaskContext ctx;
   std::int64_t transfer_bytes = 0;
+  std::int64_t stage_begin_ns = 0;
   // Resolved under the lock below, then used outside it while the task body
   // runs: the record's address is stable (unique_ptr), but indexing tasks_
   // unlocked would race with submit() reallocating the vector.
@@ -510,7 +526,14 @@ void Runtime::execute_task(TaskId id, int node_index) {
     running = &task;
     task.state = TaskState::kRunning;
     task.node = node_index;
-    task.start_ns = task.start_ns < 0 ? now_ns() : task.start_ns;
+    const std::int64_t dequeue_ns = now_ns();
+    task.start_ns = task.start_ns < 0 ? dequeue_ns : task.start_ns;
+    if (task.queued_ns >= 0) {
+      obs::observe_histogram("taskrt.queue_wait_ns", static_cast<double>(dequeue_ns - task.queued_ns));
+    }
+    if (task.ready_ns >= 0 && task.attempts == 0) {
+      obs::observe_histogram("taskrt.dep_wait_ns", static_cast<double>(task.ready_ns - task.submit_ns));
+    }
     ctx.params_ = task.original_params;
     ctx.inputs_.resize(task.bindings.size());
     ctx.outputs_.resize(task.bindings.size());
@@ -523,6 +546,9 @@ void Runtime::execute_task(TaskId id, int node_index) {
     ++task.attempts;
     ++stats_.tasks_executed;
 
+    // Transfer phase begins: input staging (value copies onto this node)
+    // plus the simulated interconnect delay below.
+    stage_begin_ns = now_ns();
     for (std::size_t i = 0; i < task.bindings.size(); ++i) {
       const ParamBinding& binding = task.bindings[i];
       if (binding.direction == Direction::kOut) continue;
@@ -546,6 +572,7 @@ void Runtime::execute_task(TaskId id, int node_index) {
         static_cast<std::int64_t>(options_.transfer_ns_per_byte * static_cast<double>(transfer_bytes)));
     std::this_thread::sleep_for(delay);
   }
+  const std::int64_t transfer_done_ns = now_ns();
   // Simulated container start-up (image instantiation before the task body).
   if (options_.container_startup_ms > 0) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(
@@ -554,6 +581,7 @@ void Runtime::execute_task(TaskId id, int node_index) {
 
   std::string error;
   bool success = true;
+  std::int64_t body_ns = 0;
   {
     // Per-function latency histogram + one span per task body so the merged
     // Perfetto trace can show the task timeline alongside the other layers.
@@ -568,7 +596,8 @@ void Runtime::execute_task(TaskId id, int node_index) {
       success = false;
       error = "unknown exception";
     }
-    obs::observe_histogram("taskrt.task_ns." + ctx.name_, static_cast<double>(obs::now_ns() - fn_start));
+    body_ns = obs::now_ns() - fn_start;
+    obs::observe_histogram("taskrt.task_ns." + ctx.name_, static_cast<double>(body_ns));
   }
 
   if (verifier_ && success) {
@@ -610,10 +639,13 @@ void Runtime::execute_task(TaskId id, int node_index) {
   }
 
   // Move the produced outputs into the task record under the lock inside
-  // finish_task; stash them on the context first.
+  // finish_task; stash them on the context first. Accumulate the attempt's
+  // attribution components (retries add up) for the trace/profiler.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     running->pending_outputs = std::move(ctx.outputs_);
+    running->transfer_ns += transfer_done_ns - stage_begin_ns;
+    running->exec_ns += body_ns;
   }
   finish_task(id, success, error);
 }
@@ -635,6 +667,7 @@ void Runtime::commit_outputs_from_checkpoint(TaskRecord& task,
   }
   task.state = TaskState::kCompleted;
   task.start_ns = task.end_ns = now_ns();
+  task.ready_ns = task.queued_ns = task.start_ns;  // zero-wait lifecycle
   ++stats_.tasks_from_checkpoint;
   ++stats_.tasks_completed;
   ++terminal_tasks_;
@@ -656,6 +689,7 @@ void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
       if (policy == FailurePolicy::kRetry && task.attempts <= task.options.max_retries) {
         ++stats_.retries;
         task.state = TaskState::kReady;
+        task.queued_ns = now_ns();  // queue wait of the retry attempt
         const int node = pick_node(task);
         node_queues_[static_cast<std::size_t>(node < 0 ? 0 : node)].push_back(id);
         OBS_GAUGE_ADD("taskrt.ready_queue_depth", 1);
@@ -739,11 +773,16 @@ void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
   if (want_checkpoint) {
     // checkpoint_key was copied under the lock: indexing tasks_ here would
     // race with submit() growing the vector.
+    const std::int64_t save_begin_ns = now_ns();
     const Status st = checkpoints_->save(checkpoint_key, checkpoint_blobs);
     if (!st.ok()) {
       LOG_WARN(kLogTag) << "checkpoint save failed for '" << checkpoint_key
                         << "': " << st.to_string();
     }
+    const std::int64_t save_ns = now_ns() - save_begin_ns;
+    obs::observe_histogram("taskrt.checkpoint_save_ns", static_cast<double>(save_ns));
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_[id - 1]->checkpoint_ns += save_ns;
   }
 }
 
@@ -933,8 +972,13 @@ Trace Runtime::trace() const {
     t.state = task->state;
     t.node = task->node;
     t.submit_ns = task->submit_ns;
+    t.ready_ns = task->ready_ns;
+    t.queued_ns = task->queued_ns;
     t.start_ns = task->start_ns;
     t.end_ns = task->end_ns;
+    t.transfer_ns = task->transfer_ns;
+    t.exec_ns = task->exec_ns;
+    t.checkpoint_ns = task->checkpoint_ns;
     t.deps.assign(task->trace_deps.begin(), task->trace_deps.end());
     t.from_checkpoint = task->from_checkpoint;
     traces.push_back(std::move(t));

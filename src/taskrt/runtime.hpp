@@ -277,8 +277,13 @@ class Runtime {
     int attempts = 0;
     int node = -1;
     std::int64_t submit_ns = 0;
+    std::int64_t ready_ns = -1;      // dependencies satisfied (first time)
+    std::int64_t queued_ns = -1;     // pushed onto a ready queue (re-stamped on retry)
     std::int64_t start_ns = -1;
     std::int64_t end_ns = -1;
+    std::int64_t transfer_ns = 0;    // input staging + simulated interconnect
+    std::int64_t exec_ns = 0;        // task body time, summed over attempts
+    std::int64_t checkpoint_ns = 0;  // checkpoint save time (after end_ns)
     bool from_checkpoint = false;
     std::string error;
     std::vector<TaskContext::Slot> pending_outputs;  // staged between run and commit

@@ -13,15 +13,27 @@
 
 namespace climate::taskrt {
 
-/// One task's trace record. Times are nanoseconds since runtime start.
+/// One task's trace record. Times are nanoseconds on the obs::now_ns()
+/// clock. The full lifecycle state machine is recorded so the profiler
+/// (src/obs/prof) can decompose each task into dependency-wait
+/// (submit -> ready), queue-wait (queued -> start), data transfer, body
+/// execution and checkpoint components:
+///
+///   submit --(dep wait)--> ready -> queued --(queue wait)--> start
+///          --(transfer + exec + overhead)--> end [--> checkpoint save]
 struct TaskTrace {
   TaskId id = 0;
   std::string name;          ///< Function name (graph colour class).
   TaskState state = TaskState::kPending;
   int node = -1;             ///< Executing node, -1 if never ran.
   std::int64_t submit_ns = 0;
-  std::int64_t start_ns = -1;
-  std::int64_t end_ns = -1;
+  std::int64_t ready_ns = -1;   ///< All dependencies satisfied.
+  std::int64_t queued_ns = -1;  ///< Pushed onto a node's ready queue (re-stamped on retry).
+  std::int64_t start_ns = -1;   ///< Dequeued by a worker; input staging begins.
+  std::int64_t end_ns = -1;     ///< Outputs published (terminal stamp for failures too).
+  std::int64_t transfer_ns = 0;   ///< Input staging + simulated interconnect time.
+  std::int64_t exec_ns = 0;       ///< Task body time (summed over retry attempts).
+  std::int64_t checkpoint_ns = 0; ///< Checkpoint save time (after end_ns).
   std::vector<TaskId> deps;  ///< Predecessor task ids.
   bool from_checkpoint = false;
 };

@@ -368,6 +368,12 @@ TEST(Orchestrator, DeploysCaseStudyTopology) {
   EXPECT_EQ(deployment.steps.size(), 6u);
   EXPECT_EQ(deployment.image_ids.size(), 3u);  // three Software nodes
   EXPECT_EQ(deployment.workflow_node, "extreme_events_workflow");
+  // The orchestrator replays step timings through the attribution profiler.
+  EXPECT_NE(deployment.run_report.find("critical path"), std::string::npos);
+  for (const auto& step : deployment.steps) {
+    EXPECT_GE(step.start_ns, 0) << step.node;
+    EXPECT_GE(step.end_ns, step.start_ns) << step.node;
+  }
 }
 
 TEST(Orchestrator, FailsOnMissingPipeline) {

@@ -3,6 +3,7 @@
 // validity of the Chrome-trace / Prometheus / JSON exporters.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <thread>
 #include <vector>
@@ -192,6 +193,46 @@ TEST_F(ObsTest, ChromeTraceJsonIsValidAndMergesTracks) {
   EXPECT_EQ(pids.size(), 2u);  // spans (pid 1) + external tracks (pid 2)
 }
 
+TEST_F(ObsTest, ChromeTraceFlowEventsBindTracks) {
+  std::vector<TrackEvent> tracks;
+  tracks.push_back({"node0", "produce", "taskrt.task", 1000, 2000});
+  tracks.push_back({"node1", "consume", "taskrt.task", 2500, 3500});
+  std::vector<FlowEvent> flows;
+  flows.push_back({7, "produce -> consume", "taskrt.dep", "node0", 1999, "node1", 2501});
+
+  const std::string json = chrome_trace_json({}, tracks, flows);
+  auto parsed = common::Json::parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const auto& events = (*parsed)["traceEvents"];
+
+  // Collect per-track tids from the thread_name metadata; each distinct
+  // track label must get exactly one tid.
+  std::map<std::string, std::set<std::int64_t>> tids_of_track;
+  const common::Json* flow_start = nullptr;
+  const common::Json* flow_finish = nullptr;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    const std::string phase = ev.get_string("ph");
+    if (phase == "M" && ev.get_string("name") == "thread_name" && ev.get_int("pid") == 2) {
+      tids_of_track[ev["args"].get_string("name")].insert(ev.get_int("tid"));
+    }
+    if (phase == "s") flow_start = &ev;
+    if (phase == "f") flow_finish = &ev;
+  }
+  ASSERT_EQ(tids_of_track.size(), 2u);
+  for (const auto& [track, tids] : tids_of_track) EXPECT_EQ(tids.size(), 1u) << track;
+
+  ASSERT_NE(flow_start, nullptr);
+  ASSERT_NE(flow_finish, nullptr);
+  EXPECT_EQ(flow_start->get_int("id"), 7);
+  EXPECT_EQ(flow_finish->get_int("id"), 7);
+  EXPECT_EQ(flow_finish->get_string("bp"), "e");
+  // Timestamps are monotonic along the arrow and land inside the slices.
+  EXPECT_LT(flow_start->get_number("ts"), flow_finish->get_number("ts"));
+  EXPECT_EQ(*tids_of_track.at("node0").begin(), flow_start->get_int("tid"));
+  EXPECT_EQ(*tids_of_track.at("node1").begin(), flow_finish->get_int("tid"));
+}
+
 TEST_F(ObsTest, PrometheusTextExposition) {
   MetricsRegistry::global().counter("prom.ops.total")->add(3);
   MetricsRegistry::global().gauge("prom.depth")->set(-2);
@@ -211,6 +252,57 @@ TEST_F(ObsTest, PrometheusTextExposition) {
   EXPECT_NE(text.find("climate_prom_lat_ns_count 3"), std::string::npos);
   EXPECT_NE(text.find("# TYPE climate_prom_ops_total counter"), std::string::npos);
   EXPECT_NE(text.find("# TYPE climate_prom_lat_ns histogram"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusNameSanitization) {
+  // Leading digits are covered by the "climate_" prefix; every other invalid
+  // character (repeated dots included) becomes '_', one per character.
+  EXPECT_EQ(prom_metric_name("9task..x"), "climate_9task__x");
+  EXPECT_EQ(prom_metric_name("taskrt.task_ns.esm_step"), "climate_taskrt_task_ns_esm_step");
+  EXPECT_EQ(prom_metric_name("a-b c"), "climate_a_b_c");
+  EXPECT_EQ(prom_metric_name(""), "climate_");
+
+  // A metric whose source name starts with a digit must expose a valid
+  // Prometheus name end-to-end.
+  MetricsRegistry::global().counter("9starts.with.digit")->add(1);
+  const std::string text = prometheus_text(MetricsRegistry::global().snapshot());
+  EXPECT_NE(text.find("climate_9starts_with_digit 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusLabelEscaping) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("a\nb"), "a\\nb");
+}
+
+TEST_F(ObsTest, PrometheusHelpAndTypeLines) {
+  MetricsRegistry::global().set_help("help.counter", "Counted things\nsecond line");
+  MetricsRegistry::global().counter("help.counter")->add(2);
+  MetricsRegistry::global().gauge("help.missing")->set(1);
+
+  const std::string text = prometheus_text(MetricsRegistry::global().snapshot());
+  // Registered help text, newline-escaped, before the TYPE line.
+  const auto help_pos = text.find("# HELP climate_help_counter Counted things\\nsecond line");
+  const auto type_pos = text.find("# TYPE climate_help_counter counter");
+  EXPECT_NE(help_pos, std::string::npos);
+  EXPECT_NE(type_pos, std::string::npos);
+  EXPECT_LT(help_pos, type_pos);
+  // Metrics without registered help still get a fallback HELP line.
+  EXPECT_NE(text.find("# HELP climate_help_missing "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE climate_help_missing gauge"), std::string::npos);
+}
+
+TEST_F(ObsTest, LogSpanProviderReportsCurrentSpan) {
+  // span.cpp installs Span::current_id as the log-correlation hook at static
+  // init; JSON log records use it to tag the enclosing span.
+  ASSERT_NE(common::log_span_provider(), nullptr);
+  EXPECT_EQ(common::log_span_provider()(), 0u);
+  {
+    Span span("test", "log_scope");
+    EXPECT_EQ(common::log_span_provider()(), span.id());
+  }
+  EXPECT_EQ(common::log_span_provider()(), 0u);
 }
 
 TEST_F(ObsTest, MetricsJsonRoundtrips) {

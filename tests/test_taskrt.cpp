@@ -366,9 +366,12 @@ namespace {
 
 TEST(Trace, NodeUtilizationAndBusyByName) {
   std::vector<TaskTrace> tasks(3);
-  tasks[0] = {1, "sim", TaskState::kCompleted, 0, 0, 0, 100, {}, false};
-  tasks[1] = {2, "sim", TaskState::kCompleted, 1, 0, 0, 50, {}, false};
-  tasks[2] = {3, "post", TaskState::kCompleted, 1, 0, 50, 100, {}, false};
+  tasks[0] = {.id = 1, .name = "sim", .state = TaskState::kCompleted, .node = 0,
+              .start_ns = 0, .end_ns = 100};
+  tasks[1] = {.id = 2, .name = "sim", .state = TaskState::kCompleted, .node = 1,
+              .start_ns = 0, .end_ns = 50};
+  tasks[2] = {.id = 3, .name = "post", .state = TaskState::kCompleted, .node = 1,
+              .start_ns = 50, .end_ns = 100};
   Trace trace(std::move(tasks));
   const auto utilization = trace.node_utilization();
   EXPECT_NEAR(utilization.at(0), 1.0, 1e-9);
