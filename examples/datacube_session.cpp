@@ -39,9 +39,10 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %zu daily files under %s\n", files.size(), dir.c_str());
 
-  // Connect to the framework (2 I/O servers) and import one file's psl.
+  // Connect to the framework (2 I/O servers) under a named session and
+  // import one file's psl.
   Server server(2);
-  Client client(server);
+  Client client(server, "interactive");
   auto psl = client.importnc(files[0], "psl");
   if (!psl.ok()) {
     std::fprintf(stderr, "importnc failed: %s\n", psl.status().to_string().c_str());
@@ -90,9 +91,17 @@ int main(int argc, char** argv) {
     std::printf("  exported %s/wave_count.nc\n", dir.c_str());
   }
 
-  // Catalog housekeeping.
-  std::printf("\ncubes in catalog: %zu, resident bytes: %zu\n", client.list().size(),
-              server.resident_bytes());
+  // Catalog housekeeping: typed handles carry the schema snapshot, so the
+  // listing needs no further server round-trips.
+  auto handles = client.cubes();
+  std::printf("\ncubes in catalog: %zu, resident bytes: %zu\n",
+              handles.ok() ? handles->size() : 0, server.resident_bytes());
+  if (handles.ok()) {
+    for (const auto& handle : *handles) {
+      std::printf("  %s  %s (%zu elements)\n", handle.pid.c_str(), handle.schema.measure.c_str(),
+                  handle.schema.element_count);
+    }
+  }
   const auto stats = server.stats();
   std::printf("framework stats: %llu operators, %llu disk reads, %llu disk writes\n",
               static_cast<unsigned long long>(stats.operators_executed),

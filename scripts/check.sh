@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer check: configure a dedicated build tree with the chosen sanitizer,
 # build, and run ctest. The thread-sanitizer run is the gate for the lock-free
-# observability paths: test_obs and test_taskrt must come back clean. The
+# observability paths and the concurrent datacube serving paths: test_obs,
+# test_taskrt, test_datacube and test_common must come back clean. The
 # address run also enables UBSan (the two compose; TSan does not).
 #
 # Usage:
@@ -64,8 +65,9 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 ctest "${CTEST_ARGS[@]}"
 
 if [[ "${SANITIZER}" == "thread" && -z "${FILTER}" ]]; then
-  echo "== TSan gate: re-running test_obs + test_taskrt explicitly"
-  ctest --test-dir "${BUILD_DIR}" --output-on-failure -R '^(test_obs|test_taskrt)$'
+  echo "== TSan gate: re-running the concurrency suites explicitly"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+    -R '^(test_obs|test_taskrt|test_datacube|test_common)$'
 fi
 
 if [[ "${SANITIZER}" == "address" && -z "${FILTER}" ]]; then

@@ -1,0 +1,62 @@
+// Cache-line-striped atomic counters for write-heavy shared statistics.
+//
+// A single std::atomic counter bounces its cache line between every core
+// that updates it; the datacube server's per-operator stats are exactly that
+// pattern once many sessions run concurrently. StripedCounter spreads the
+// increments over several padded stripes indexed by a per-thread slot, so
+// concurrent writers (mostly) touch distinct cache lines. Reads sum the
+// stripes: each field is monotone and exact once writers have quiesced, and
+// a concurrent read never observes a torn value — it may only lag
+// increments that raced with the sum.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+namespace climate::common {
+
+/// Number of stripes; a power of two so the slot hash is a mask.
+inline constexpr std::size_t kCounterStripes = 8;
+
+/// Fixed destructive-interference stride. A constant (rather than
+/// std::hardware_destructive_interference_size) so layout does not vary
+/// with compiler tuning flags; 64 bytes covers x86-64 and most AArch64.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Stable small slot for the calling thread, used to pick a stripe.
+inline std::size_t thread_stripe_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+/// A monotone uint64 counter striped across cache lines.
+class StripedCounter {
+ public:
+  StripedCounter() = default;
+  StripedCounter(const StripedCounter&) = delete;
+  StripedCounter& operator=(const StripedCounter&) = delete;
+
+  void add(std::uint64_t delta) {
+    stripes_[thread_stripe_slot() & (kCounterStripes - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  /// Sum over stripes: exact at quiescence, never torn, monotone between
+  /// calls from the same reader.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const Stripe& stripe : stripes_) sum += stripe.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Stripe {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Stripe stripes_[kCounterStripes];
+};
+
+}  // namespace climate::common

@@ -543,11 +543,13 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
                 {In(temp_h), In(baseline_h), Out(out_h)},
                 [&dc_server, warm, burn](TaskContext& ctx) {
                   burn(ctx);
-                  datacube::Client client(dc_server);
-                  datacube::Cube temp = client.attach(ctx.in_as<std::string>(0));
-                  datacube::Cube baseline = client.attach(ctx.in_as<std::string>(1));
-                  auto diff = warm ? temp.intercube(baseline, "sub", "temp - baseline")
-                                   : baseline.intercube(temp, "sub", "baseline - temp");
+                  datacube::Client client(dc_server, "workflow");
+                  auto temp = client.open(ctx.in_as<std::string>(0));
+                  if (!temp.ok()) throw std::runtime_error(temp.status().to_string());
+                  auto baseline = client.open(ctx.in_as<std::string>(1));
+                  if (!baseline.ok()) throw std::runtime_error(baseline.status().to_string());
+                  auto diff = warm ? temp->intercube(*baseline, "sub", "temp - baseline")
+                                   : baseline->intercube(*temp, "sub", "baseline - temp");
                   if (!diff.ok()) throw std::runtime_error(diff.status().to_string());
                   auto mask = diff->apply(
                       common::format("oph_predicate(measure, '>=%g', 1, 0)",
@@ -560,7 +562,7 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
                   if (!duration.ok()) throw std::runtime_error(duration.status().to_string());
                   (void)diff->del();
                   (void)mask->del();
-                  (void)temp.del();  // input year cube no longer needed
+                  (void)temp->del();  // input year cube no longer needed
                   ctx.set_out(2, std::any(duration->pid()), 64);
                 });
     };
@@ -582,20 +584,21 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
           {In(duration_h), Out(out_h)},
           [&dc_server, kind, filename, indices_dir, grid, days, burn](TaskContext& ctx) {
             burn(ctx);
-            datacube::Client client(dc_server);
-            datacube::Cube duration = client.attach(ctx.in_as<std::string>(0));
+            datacube::Client client(dc_server, "workflow");
+            auto duration = client.open(ctx.in_as<std::string>(0));
+            if (!duration.ok()) throw std::runtime_error(duration.status().to_string());
             datacube::Cube index;
             switch (kind) {
               case IndexKind::kMax: {
                 // Listing 1 IndexDurationMax.
-                auto cube = duration.reduce("max", 0, "Max Duration cube");
+                auto cube = duration->reduce("max", 0, "Max Duration cube");
                 if (!cube.ok()) throw std::runtime_error(cube.status().to_string());
                 index = *cube;
                 break;
               }
               case IndexKind::kNumber: {
                 // Listing 1 IndexDurationNumber.
-                auto mask = duration.apply(
+                auto mask = duration->apply(
                     "oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0')");
                 if (!mask.ok()) throw std::runtime_error(mask.status().to_string());
                 auto cube = mask->reduce("sum", 0, "Number of durations cube");
@@ -605,7 +608,7 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
                 break;
               }
               case IndexKind::kFrequency: {
-                auto total = duration.reduce("sum", 0, "Total wave days cube");
+                auto total = duration->reduce("sum", 0, "Total wave days cube");
                 if (!total.ok()) throw std::runtime_error(total.status().to_string());
                 auto cube = total->apply(common::format("measure / %d", days),
                                          "Wave frequency cube");

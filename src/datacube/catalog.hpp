@@ -1,0 +1,86 @@
+// Sharded cube catalog: the PID -> cube map of the datacube front-end, split
+// into independently locked shards so concurrent sessions registering,
+// looking up and deleting cubes contend only when they hash to the same
+// shard. PID -> shard routing is a lock-free FNV-1a hash over the PID
+// string; PIDs themselves come from one atomic sequence, which doubles as
+// the creation-order key (list() merges the shards and sorts by it).
+//
+// Per-cube metadata lives next to the cube entry under the same shard lock,
+// so a metadata read never crosses shards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/striped.hpp"
+#include "datacube/cube.hpp"
+
+namespace climate::datacube {
+
+class CubeCatalog {
+ public:
+  static constexpr std::size_t kShards = 16;  // power of two: shard pick is a mask
+
+  CubeCatalog() = default;
+  CubeCatalog(const CubeCatalog&) = delete;
+  CubeCatalog& operator=(const CubeCatalog&) = delete;
+
+  /// Registers a cube under a fresh PID and returns it.
+  std::string insert(CubeData cube);
+
+  /// Shared, immutable cube contents (survive catalog deletion).
+  Result<std::shared_ptr<const CubeData>> find(const std::string& pid) const;
+
+  /// Removes a cube (and its metadata) from the catalog.
+  Status erase(const std::string& pid);
+
+  /// All catalogued PIDs in creation order.
+  std::vector<std::string> list() const;
+
+  Status set_metadata(const std::string& pid, const std::string& key, const std::string& value);
+  Result<std::map<std::string, std::string>> metadata(const std::string& pid) const;
+
+  /// Number of catalogued cubes.
+  std::size_t size() const;
+
+  /// Total bytes of all catalogued cubes.
+  std::size_t resident_bytes() const;
+
+  /// Times a shard lock was found held by another thread (across all
+  /// shards); the per-shard breakdown is in contention_by_shard().
+  std::uint64_t lock_contention() const { return contention_.total(); }
+
+  /// Per-shard contended-acquisition counts, index = shard.
+  std::array<std::uint64_t, kShards> contention_by_shard() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CubeData> cube;
+    std::uint64_t seq = 0;  ///< Creation-order key (the PID's sequence number).
+    std::map<std::string, std::string> metadata;
+  };
+
+  struct alignas(common::kCacheLineSize) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> entries;
+    mutable std::atomic<std::uint64_t> contended{0};
+  };
+
+  /// Lock-free PID -> shard routing (FNV-1a over the PID bytes).
+  static std::size_t shard_index(const std::string& pid);
+
+  /// Locks a shard, counting acquisitions that had to wait.
+  std::unique_lock<std::mutex> lock_shard(const Shard& shard) const;
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable common::StripedCounter contention_;
+};
+
+}  // namespace climate::datacube

@@ -3,12 +3,20 @@
 namespace climate::datacube {
 
 namespace {
-Result<Cube> wrap(Server* server, Result<std::string> pid) {
+
+/// Wraps a server-produced PID into a bound Cube, capturing the schema
+/// snapshot for the handle. The snapshot lookup is best-effort: the cube was
+/// just registered, so a miss only happens if another session deleted it in
+/// the meantime, and then the handle still carries the PID.
+Result<Cube> wrap(Server* server, const std::string& session, Result<std::string> pid) {
   if (!pid.ok()) return pid.status();
-  return Cube(server, *pid);
+  CubeHandle handle;
+  handle.pid = std::move(*pid);
+  auto schema = server->cubeschema(handle.pid);
+  if (schema.ok()) handle.schema = std::move(*schema);
+  return Cube(server, std::move(handle), session);
 }
 
-Cube make_cube(Server* server, std::string pid) { return Cube(server, std::move(pid)); }
 }  // namespace
 
 Result<Cube> Cube::reduce(const std::string& op, std::size_t group,
@@ -16,12 +24,14 @@ Result<Cube> Cube::reduce(const std::string& op, std::size_t group,
   if (!valid()) return Status::FailedPrecondition("reduce on invalid cube");
   auto parsed = parse_reduce_op(op);
   if (!parsed.ok()) return parsed.status();
-  return wrap(server_, server_->reduce(pid_, *parsed, group, description));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_, server_->reduce(pid(), *parsed, group, description));
 }
 
 Result<Cube> Cube::apply(const std::string& expression, const std::string& description) const {
   if (!valid()) return Status::FailedPrecondition("apply on invalid cube");
-  return wrap(server_, server_->apply(pid_, expression, description));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_, server_->apply(pid(), expression, description));
 }
 
 Result<Cube> Cube::intercube(const Cube& other, const std::string& op,
@@ -29,23 +39,27 @@ Result<Cube> Cube::intercube(const Cube& other, const std::string& op,
   if (!valid() || !other.valid()) return Status::FailedPrecondition("intercube on invalid cube");
   auto parsed = parse_inter_op(op);
   if (!parsed.ok()) return parsed.status();
-  return wrap(server_, server_->intercube(pid_, other.pid_, *parsed, description));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_, server_->intercube(pid(), other.pid(), *parsed, description));
 }
 
 Result<Cube> Cube::subset(const std::string& dim, std::size_t start, std::size_t end,
                           const std::string& description) const {
   if (!valid()) return Status::FailedPrecondition("subset on invalid cube");
-  return wrap(server_, server_->subset(pid_, dim, start, end, description));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_, server_->subset(pid(), dim, start, end, description));
 }
 
 Result<Cube> Cube::merge(const Cube& other, const std::string& description) const {
   if (!valid() || !other.valid()) return Status::FailedPrecondition("merge on invalid cube");
-  return wrap(server_, server_->merge(pid_, other.pid_, description));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_, server_->merge(pid(), other.pid(), description));
 }
 
 Result<Cube> Cube::concat(const Cube& other, const std::string& description) const {
   if (!valid() || !other.valid()) return Status::FailedPrecondition("concat on invalid cube");
-  return wrap(server_, server_->concat_implicit(pid_, other.pid_, description));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_, server_->concat_implicit(pid(), other.pid(), description));
 }
 
 Result<Cube> Cube::aggregate(const std::string& dim, const std::string& op,
@@ -53,7 +67,8 @@ Result<Cube> Cube::aggregate(const std::string& dim, const std::string& op,
   if (!valid()) return Status::FailedPrecondition("aggregate on invalid cube");
   auto parsed = parse_reduce_op(op);
   if (!parsed.ok()) return parsed.status();
-  return wrap(server_, server_->aggregate(pid_, dim, *parsed, description));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_, server_->aggregate(pid(), dim, *parsed, description));
 }
 
 Status Cube::exportnc2(const std::string& output_path, const std::string& output_name) const {
@@ -62,38 +77,60 @@ Status Cube::exportnc2(const std::string& output_path, const std::string& output
   if (!path.empty() && path.back() != '/') path += '/';
   path += output_name;
   if (path.size() < 3 || path.substr(path.size() - 3) != ".nc") path += ".nc";
-  return server_->exportnc(pid_, path);
+  Server::SessionScope scope(session_);
+  return server_->exportnc(pid(), path);
 }
 
 Result<CubeSchema> Cube::schema() const {
   if (!valid()) return Status::FailedPrecondition("schema on invalid cube");
-  return server_->cubeschema(pid_);
+  return server_->cubeschema(pid());
 }
 
 Result<std::vector<float>> Cube::values() const {
   if (!valid()) return Status::FailedPrecondition("values on invalid cube");
-  return server_->fetch_dense(pid_);
+  return server_->fetch_dense(pid());
 }
 
 Status Cube::del() const {
   if (!valid()) return Status::FailedPrecondition("delete on invalid cube");
-  return server_->delete_cube(pid_);
+  return server_->delete_cube(pid());
 }
 
 Result<Cube> Client::importnc(const std::string& path, const std::string& variable,
                               const ImportOptions& options) {
-  auto pid = server_->importnc(path, variable, options);
-  if (!pid.ok()) return pid.status();
-  return make_cube(server_, std::move(*pid));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_, server_->importnc(path, variable, options));
 }
 
 Result<Cube> Client::create_cube(std::string measure, std::vector<DimInfo> explicit_dims,
                                  DimInfo implicit_dim, const std::vector<float>& dense,
                                  std::string description) {
-  auto pid = server_->create_cube(std::move(measure), std::move(explicit_dims),
-                                  std::move(implicit_dim), dense, std::move(description));
-  if (!pid.ok()) return pid.status();
-  return make_cube(server_, std::move(*pid));
+  Server::SessionScope scope(session_);
+  return wrap(server_, session_,
+              server_->create_cube(std::move(measure), std::move(explicit_dims),
+                                   std::move(implicit_dim), dense, std::move(description)));
+}
+
+Result<Cube> Client::open(const std::string& pid) const {
+  auto schema = server_->cubeschema(pid);
+  if (!schema.ok()) return schema.status();
+  CubeHandle handle;
+  handle.pid = pid;
+  handle.schema = std::move(*schema);
+  return Cube(server_, std::move(handle), session_);
+}
+
+Result<std::vector<CubeHandle>> Client::cubes() const {
+  std::vector<CubeHandle> handles;
+  for (const std::string& pid : server_->list_cubes()) {
+    auto schema = server_->cubeschema(pid);
+    if (!schema.ok()) continue;  // deleted concurrently between list and read
+    CubeHandle handle;
+    handle.pid = pid;
+    handle.schema = std::move(*schema);
+    handles.push_back(std::move(handle));
+  }
+  return handles;
 }
 
 }  // namespace climate::datacube

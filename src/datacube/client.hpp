@@ -2,15 +2,23 @@
 // equivalent. Mirrors the session/Cube object model the paper's Listing 1
 // uses:
 //
-//   Client client(server);
-//   Cube tmax = client.importnc("day1.nc", "tmax");
-//   Cube max_duration = duration.reduce("max", "Max Duration cube");
-//   Cube mask = duration.apply("oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0')");
-//   Cube count = mask.reduce("sum", "Number of durations cube");
+//   Client client(server, "my-session");
+//   Cube tmax = *client.importnc("day1.nc", "tmax");
+//   Cube max_duration = *duration.reduce("max", 0, "Max Duration cube");
+//   Cube mask = *duration.apply("oph_predicate(measure,'>0',1,0)");
+//   Cube count = *mask.reduce("sum", 0, "Number of durations cube");
 //   count.exportnc2(output_path, output_name);
 //
-// Cube is a lightweight PID wrapper; all processing is dispatched to the
-// server and results stay server-side (in memory) until exported.
+// The typed surface is Result-based end to end (no throwing paths):
+//  - CubeHandle is a pure value — the PID plus the schema snapshot taken
+//    when the handle was produced — safe to copy across threads and task
+//    boundaries without touching the server;
+//  - Cube binds a handle to a server connection and dispatches operators;
+//  - every Client carries a session name, so its operators queue fairly in
+//    the server's admission layer (see datacube/admission.hpp).
+//
+// All processing happens server-side and results stay in server memory
+// until exported.
 #pragma once
 
 #include <string>
@@ -22,15 +30,38 @@ namespace climate::datacube {
 
 class Client;
 
-/// Handle to one server-side datacube.
+/// Immutable value handle to one server-side datacube: the PID plus the
+/// schema snapshot captured when the handle was produced. Pure data (no
+/// server pointer) — the snapshot answers shape questions without a catalog
+/// round-trip, and the handle can cross task/thread boundaries freely.
+struct CubeHandle {
+  std::string pid;
+  CubeSchema schema;
+
+  bool valid() const { return !pid.empty(); }
+};
+
+/// A CubeHandle bound to a server connection: dispatches operators under
+/// the owning client's session.
 class Cube {
  public:
   Cube() = default;
-  /// Binds to an existing server-side cube (normally obtained via Client).
-  Cube(Server* server, std::string pid) : server_(server), pid_(std::move(pid)) {}
+  /// Deprecated: binds to a raw PID with no validation and no schema
+  /// snapshot; prefer Client::open, which checks the PID and captures the
+  /// schema. Kept as a forwarding shim for legacy string-PID call sites.
+  Cube(Server* server, std::string pid) : server_(server) { handle_.pid = std::move(pid); }
+  Cube(Server* server, CubeHandle handle, std::string session)
+      : server_(server), handle_(std::move(handle)), session_(std::move(session)) {}
 
-  const std::string& pid() const { return pid_; }
-  bool valid() const { return server_ != nullptr && !pid_.empty(); }
+  const std::string& pid() const { return handle_.pid; }
+  /// The value handle (PID + schema snapshot at creation time).
+  const CubeHandle& handle() const { return handle_; }
+  /// Schema captured when this cube was produced. Empty for cubes built via
+  /// the deprecated raw-PID constructor; cubes are immutable, so for a
+  /// validated handle the snapshot never goes stale.
+  const CubeSchema& schema_snapshot() const { return handle_.schema; }
+  const std::string& session() const { return session_; }
+  bool valid() const { return server_ != nullptr && handle_.valid(); }
 
   /// Reduce over the implicit dimension ("max","min","sum","avg","std",
   /// "count"); group 0 collapses the whole array.
@@ -62,7 +93,7 @@ class Cube {
   /// Export to a CDF-lite file, PyOphidia exportnc2-style.
   Status exportnc2(const std::string& output_path, const std::string& output_name) const;
 
-  /// Schema snapshot.
+  /// Schema snapshot (fresh from the catalog; see also schema_snapshot()).
   Result<CubeSchema> schema() const;
 
   /// Dense row-major values (synchronizes data to the client).
@@ -75,14 +106,19 @@ class Cube {
   friend class Client;
 
   Server* server_ = nullptr;
-  std::string pid_;
+  CubeHandle handle_;
+  std::string session_ = "default";
 };
 
-/// A connection to the framework front-end.
+/// A connection to the framework front-end, bound to a named session.
+/// Operators issued through this client (and through the Cubes it produces)
+/// are admitted under that session, so concurrent clients share the server
+/// fairly.
 class Client {
  public:
   /// Binds to a running server (in-process deployment of the framework).
-  explicit Client(Server& server) : server_(&server) {}
+  explicit Client(Server& server, std::string session = "default")
+      : server_(&server), session_(std::move(session)) {}
 
   /// Imports a variable from a CDF-lite file.
   Result<Cube> importnc(const std::string& path, const std::string& variable,
@@ -93,16 +129,31 @@ class Client {
                            DimInfo implicit_dim, const std::vector<float>& dense,
                            std::string description = "");
 
-  /// Wraps an existing PID.
+  /// Opens an existing cube by PID: validates it against the catalog and
+  /// captures its schema snapshot.
+  Result<Cube> open(const std::string& pid) const;
+
+  /// Rebinds a handle that crossed a task/thread boundary (no server
+  /// round-trip; the handle's snapshot is kept as-is).
+  Cube bind(CubeHandle handle) const { return Cube(server_, std::move(handle), session_); }
+
+  /// Typed catalog listing: a handle (PID + schema) per cube, creation
+  /// order.
+  Result<std::vector<CubeHandle>> cubes() const;
+
+  /// Deprecated: wraps a raw PID with no validation or schema snapshot;
+  /// prefer open(). Forwarding shim for legacy call sites.
   Cube attach(const std::string& pid) { return Cube(server_, pid); }
 
-  /// PIDs of every catalogued cube.
+  /// Deprecated: raw PID strings; prefer cubes(). Forwarding shim.
   std::vector<std::string> list() const { return server_->list_cubes(); }
 
+  const std::string& session() const { return session_; }
   Server& server() { return *server_; }
 
  private:
   Server* server_;
+  std::string session_ = "default";
 };
 
 }  // namespace climate::datacube

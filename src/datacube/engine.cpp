@@ -1,0 +1,426 @@
+#include "datacube/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "datacube/expression.hpp"
+
+namespace climate::datacube {
+
+Result<ReduceOp> parse_reduce_op(const std::string& name) {
+  if (name == "max") return ReduceOp::kMax;
+  if (name == "min") return ReduceOp::kMin;
+  if (name == "sum") return ReduceOp::kSum;
+  if (name == "avg" || name == "mean") return ReduceOp::kAvg;
+  if (name == "std") return ReduceOp::kStd;
+  if (name == "count") return ReduceOp::kCount;
+  return Status::InvalidArgument("unknown reduce operation '" + name + "'");
+}
+
+Result<InterOp> parse_inter_op(const std::string& name) {
+  if (name == "add") return InterOp::kAdd;
+  if (name == "sub") return InterOp::kSub;
+  if (name == "mul") return InterOp::kMul;
+  if (name == "div") return InterOp::kDiv;
+  if (name == "mask") return InterOp::kMask;
+  return Status::InvalidArgument("unknown intercube operation '" + name + "'");
+}
+
+namespace engine {
+
+Result<CubeData> reduce(const CubeData& src, ReduceOp op, std::size_t group_size,
+                        const std::string& description, const ParallelRunner& run) {
+  const std::size_t alen = src.array_length();
+  if (group_size == 0) group_size = alen;
+  const std::size_t out_len = (alen + group_size - 1) / group_size;
+
+  CubeData out;
+  out.measure = src.measure;
+  out.description = description.empty() ? "reduce" : description;
+  out.explicit_dims = src.explicit_dims;
+  out.implicit_dim = DimInfo{src.implicit_dim.name, out_len, {}};
+  if (out_len == alen) out.implicit_dim.coords = src.implicit_dim.coords;
+  out.fragments.resize(src.fragments.size());
+
+  const std::size_t gs = group_size;
+  run(src.fragments.size(), [&](std::size_t f) {
+    const Fragment& in_frag = src.fragments[f];
+    Fragment& out_frag = out.fragments[f];
+    out_frag.row_start = in_frag.row_start;
+    out_frag.row_count = in_frag.row_count;
+    out_frag.server = in_frag.server;
+    out_frag.values.assign(in_frag.row_count * out_len, 0.0f);
+    for (std::size_t r = 0; r < in_frag.row_count; ++r) {
+      const float* row = in_frag.values.data() + r * alen;
+      float* dst = out_frag.values.data() + r * out_len;
+      for (std::size_t g = 0; g < out_len; ++g) {
+        const std::size_t begin = g * gs;
+        const std::size_t end = std::min(alen, begin + gs);
+        const std::size_t n = end - begin;
+        switch (op) {
+          case ReduceOp::kMax: {
+            float m = row[begin];
+            for (std::size_t i = begin + 1; i < end; ++i) m = std::max(m, row[i]);
+            dst[g] = m;
+            break;
+          }
+          case ReduceOp::kMin: {
+            float m = row[begin];
+            for (std::size_t i = begin + 1; i < end; ++i) m = std::min(m, row[i]);
+            dst[g] = m;
+            break;
+          }
+          case ReduceOp::kSum: {
+            double s = 0;
+            for (std::size_t i = begin; i < end; ++i) s += row[i];
+            dst[g] = static_cast<float>(s);
+            break;
+          }
+          case ReduceOp::kAvg: {
+            double s = 0;
+            for (std::size_t i = begin; i < end; ++i) s += row[i];
+            dst[g] = static_cast<float>(s / static_cast<double>(n));
+            break;
+          }
+          case ReduceOp::kStd: {
+            double s = 0, s2 = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+              s += row[i];
+              s2 += static_cast<double>(row[i]) * row[i];
+            }
+            const double mean = s / static_cast<double>(n);
+            const double var = std::max(0.0, s2 / static_cast<double>(n) - mean * mean);
+            dst[g] = static_cast<float>(std::sqrt(var));
+            break;
+          }
+          case ReduceOp::kCount: {
+            dst[g] = static_cast<float>(n);
+            break;
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Result<CubeData> apply(const CubeData& src, const std::string& expression,
+                       const std::string& description, const ParallelRunner& run) {
+  auto expr = Expression::parse(expression);
+  if (!expr.ok()) return expr.status();
+
+  const std::size_t alen = src.array_length();
+  // Determine output length on a probe row.
+  std::vector<float> probe(alen, 0.0f);
+  const std::size_t out_len = expr->eval(probe).size();
+  if (out_len == 0) return Status::InvalidArgument("expression produces empty output");
+
+  CubeData out;
+  out.measure = src.measure;
+  out.description = description.empty() ? "apply(" + expression + ")" : description;
+  out.explicit_dims = src.explicit_dims;
+  out.implicit_dim = DimInfo{src.implicit_dim.name, out_len, {}};
+  if (out_len == alen) out.implicit_dim.coords = src.implicit_dim.coords;
+  out.fragments.resize(src.fragments.size());
+
+  std::atomic<bool> length_error{false};
+  run(src.fragments.size(), [&](std::size_t f) {
+    const Fragment& in_frag = src.fragments[f];
+    Fragment& out_frag = out.fragments[f];
+    out_frag.row_start = in_frag.row_start;
+    out_frag.row_count = in_frag.row_count;
+    out_frag.server = in_frag.server;
+    out_frag.values.assign(in_frag.row_count * out_len, 0.0f);
+    std::vector<float> row(alen);
+    for (std::size_t r = 0; r < in_frag.row_count; ++r) {
+      std::memcpy(row.data(), in_frag.values.data() + r * alen, alen * sizeof(float));
+      std::vector<float> result = expr->eval(row);
+      if (result.size() == 1 && out_len > 1) result.assign(out_len, result[0]);
+      if (result.size() != out_len) {
+        length_error.store(true);
+        return;
+      }
+      std::memcpy(out_frag.values.data() + r * out_len, result.data(), out_len * sizeof(float));
+    }
+  });
+  if (length_error.load()) {
+    return Status::Internal("expression produced rows of differing lengths");
+  }
+  return out;
+}
+
+Result<CubeData> intercube(const CubeData& a, const CubeData& b, InterOp op,
+                           const std::string& description, const ParallelRunner& run) {
+  if (a.row_count() != b.row_count() || a.array_length() != b.array_length()) {
+    return Status::InvalidArgument("intercube: shape mismatch (" + std::to_string(a.row_count()) +
+                                   "x" + std::to_string(a.array_length()) + " vs " +
+                                   std::to_string(b.row_count()) + "x" +
+                                   std::to_string(b.array_length()) + ")");
+  }
+
+  // b may be fragmented differently: use a dense view of it.
+  const std::vector<float> b_dense = b.to_dense();
+  const std::size_t alen = a.array_length();
+
+  CubeData out;
+  out.measure = a.measure;
+  out.description = description.empty() ? "intercube" : description;
+  out.explicit_dims = a.explicit_dims;
+  out.implicit_dim = a.implicit_dim;
+  out.fragments.resize(a.fragments.size());
+
+  run(a.fragments.size(), [&](std::size_t f) {
+    const Fragment& in_frag = a.fragments[f];
+    Fragment& out_frag = out.fragments[f];
+    out_frag.row_start = in_frag.row_start;
+    out_frag.row_count = in_frag.row_count;
+    out_frag.server = in_frag.server;
+    out_frag.values.resize(in_frag.values.size());
+    const float* bv = b_dense.data() + in_frag.row_start * alen;
+    for (std::size_t i = 0; i < in_frag.values.size(); ++i) {
+      const float x = in_frag.values[i];
+      const float y = bv[i];
+      switch (op) {
+        case InterOp::kAdd: out_frag.values[i] = x + y; break;
+        case InterOp::kSub: out_frag.values[i] = x - y; break;
+        case InterOp::kMul: out_frag.values[i] = x * y; break;
+        case InterOp::kDiv: out_frag.values[i] = y == 0.0f ? 0.0f : x / y; break;
+        case InterOp::kMask: out_frag.values[i] = y > 0.0f ? x : 0.0f; break;
+      }
+    }
+  });
+  return out;
+}
+
+Result<CubeData> subset(const CubeData& src, const std::string& dim_name, std::size_t start,
+                        std::size_t end, const std::string& description, std::size_t nservers) {
+  if (end < start) return Status::InvalidArgument("subset: end < start");
+
+  const std::vector<float> dense = src.to_dense();
+  const std::size_t alen = src.array_length();
+
+  auto slice_coords = [&](const DimInfo& dim) {
+    DimInfo out{dim.name, end - start + 1, {}};
+    if (!dim.coords.empty()) {
+      out.coords.assign(dim.coords.begin() + static_cast<long>(start),
+                        dim.coords.begin() + static_cast<long>(end) + 1);
+    }
+    return out;
+  };
+
+  if (src.implicit_dim.name == dim_name) {
+    if (end >= alen) return Status::OutOfRange("subset: index past implicit dimension");
+    const std::size_t new_len = end - start + 1;
+    std::vector<float> out_dense(src.row_count() * new_len);
+    for (std::size_t r = 0; r < src.row_count(); ++r) {
+      std::memcpy(out_dense.data() + r * new_len, dense.data() + r * alen + start,
+                  new_len * sizeof(float));
+    }
+    CubeData out = cube_from_dense(src.measure, src.explicit_dims, slice_coords(src.implicit_dim),
+                                   out_dense, nservers, nservers);
+    out.description = description.empty() ? "subset(" + dim_name + ")" : description;
+    return out;
+  }
+
+  // Explicit dimension subset: select rows whose index on dim_name lies in
+  // [start, end].
+  std::size_t dim_index = src.explicit_dims.size();
+  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
+    if (src.explicit_dims[d].name == dim_name) dim_index = d;
+  }
+  if (dim_index == src.explicit_dims.size()) {
+    return Status::NotFound("subset: no dimension '" + dim_name + "'");
+  }
+  if (end >= src.explicit_dims[dim_index].size) {
+    return Status::OutOfRange("subset: index past dimension '" + dim_name + "'");
+  }
+
+  std::vector<DimInfo> out_dims = src.explicit_dims;
+  out_dims[dim_index] = slice_coords(src.explicit_dims[dim_index]);
+
+  std::size_t out_rows = 1;
+  for (const DimInfo& d : out_dims) out_rows *= d.size;
+  std::vector<float> out_dense(out_rows * alen);
+
+  // Row-major walk over the output index space, mapping back to source rows.
+  std::vector<std::size_t> src_strides(src.explicit_dims.size(), 1);
+  for (std::size_t d = src.explicit_dims.size(); d-- > 1;) {
+    src_strides[d - 1] = src_strides[d] * src.explicit_dims[d].size;
+  }
+  std::vector<std::size_t> idx(out_dims.size(), 0);
+  for (std::size_t out_row = 0; out_row < out_rows; ++out_row) {
+    std::size_t src_row = 0;
+    for (std::size_t d = 0; d < out_dims.size(); ++d) {
+      const std::size_t src_idx = d == dim_index ? idx[d] + start : idx[d];
+      src_row += src_idx * src_strides[d];
+    }
+    std::memcpy(out_dense.data() + out_row * alen, dense.data() + src_row * alen,
+                alen * sizeof(float));
+    for (std::size_t d = out_dims.size(); d-- > 0;) {
+      if (++idx[d] < out_dims[d].size) break;
+      idx[d] = 0;
+    }
+  }
+  CubeData out = cube_from_dense(src.measure, std::move(out_dims), src.implicit_dim, out_dense,
+                                 nservers, nservers);
+  out.description = description.empty() ? "subset(" + dim_name + ")" : description;
+  return out;
+}
+
+Result<CubeData> merge(const CubeData& a, const CubeData& b, const std::string& description,
+                       std::size_t nservers) {
+  if (a.explicit_dims.empty() || b.explicit_dims.empty()) {
+    return Status::InvalidArgument("merge: cubes need an explicit dimension");
+  }
+  if (a.explicit_dims.size() != b.explicit_dims.size() || a.array_length() != b.array_length()) {
+    return Status::InvalidArgument("merge: schema mismatch");
+  }
+  for (std::size_t d = 1; d < a.explicit_dims.size(); ++d) {
+    if (a.explicit_dims[d].size != b.explicit_dims[d].size) {
+      return Status::InvalidArgument("merge: inner dimension size mismatch");
+    }
+  }
+
+  std::vector<DimInfo> out_dims = a.explicit_dims;
+  out_dims[0].size += b.explicit_dims[0].size;
+  out_dims[0].coords.clear();
+  if (!a.explicit_dims[0].coords.empty() && !b.explicit_dims[0].coords.empty()) {
+    out_dims[0].coords = a.explicit_dims[0].coords;
+    out_dims[0].coords.insert(out_dims[0].coords.end(), b.explicit_dims[0].coords.begin(),
+                              b.explicit_dims[0].coords.end());
+  }
+  std::vector<float> dense = a.to_dense();
+  const std::vector<float> b_dense = b.to_dense();
+  dense.insert(dense.end(), b_dense.begin(), b_dense.end());
+
+  CubeData out =
+      cube_from_dense(a.measure, std::move(out_dims), a.implicit_dim, dense, nservers, nservers);
+  out.description = description.empty() ? "merge" : description;
+  return out;
+}
+
+Result<CubeData> concat_implicit(const CubeData& a, const CubeData& b,
+                                 const std::string& description, std::size_t nservers) {
+  if (a.row_count() != b.row_count() || a.explicit_dims.size() != b.explicit_dims.size()) {
+    return Status::InvalidArgument("concat_implicit: explicit dimension mismatch");
+  }
+  for (std::size_t d = 0; d < a.explicit_dims.size(); ++d) {
+    if (a.explicit_dims[d].size != b.explicit_dims[d].size) {
+      return Status::InvalidArgument("concat_implicit: explicit dimension size mismatch");
+    }
+  }
+  const std::size_t alen_a = a.array_length();
+  const std::size_t alen_b = b.array_length();
+  const std::vector<float> dense_a = a.to_dense();
+  const std::vector<float> dense_b = b.to_dense();
+  const std::size_t rows = a.row_count();
+  std::vector<float> out_dense(rows * (alen_a + alen_b));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::memcpy(out_dense.data() + r * (alen_a + alen_b), dense_a.data() + r * alen_a,
+                alen_a * sizeof(float));
+    std::memcpy(out_dense.data() + r * (alen_a + alen_b) + alen_a, dense_b.data() + r * alen_b,
+                alen_b * sizeof(float));
+  }
+  DimInfo implicit = a.implicit_dim;
+  implicit.size = alen_a + alen_b;
+  if (!a.implicit_dim.coords.empty() && !b.implicit_dim.coords.empty()) {
+    implicit.coords = a.implicit_dim.coords;
+    implicit.coords.insert(implicit.coords.end(), b.implicit_dim.coords.begin(),
+                           b.implicit_dim.coords.end());
+  } else {
+    implicit.coords.clear();
+  }
+  CubeData out = cube_from_dense(a.measure, a.explicit_dims, std::move(implicit), out_dense,
+                                 nservers, nservers);
+  out.description = description.empty() ? "concat_implicit" : description;
+  return out;
+}
+
+Result<CubeData> aggregate(const CubeData& src, const std::string& dim_name, ReduceOp op,
+                           const std::string& description, std::size_t nservers) {
+  std::size_t dim_index = src.explicit_dims.size();
+  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
+    if (src.explicit_dims[d].name == dim_name) dim_index = d;
+  }
+  if (dim_index == src.explicit_dims.size()) {
+    return Status::NotFound("aggregate: no explicit dimension '" + dim_name + "'");
+  }
+
+  const std::size_t alen = src.array_length();
+  const std::vector<float> dense = src.to_dense();
+
+  // Output dims: the collapsed one removed.
+  std::vector<DimInfo> out_dims;
+  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
+    if (d != dim_index) out_dims.push_back(src.explicit_dims[d]);
+  }
+  std::size_t out_rows = 1;
+  for (const DimInfo& d : out_dims) out_rows *= d.size;
+  const std::size_t collapse_n = src.explicit_dims[dim_index].size;
+
+  // Strides of the source row index space.
+  std::vector<std::size_t> strides(src.explicit_dims.size(), 1);
+  for (std::size_t d = src.explicit_dims.size(); d-- > 1;) {
+    strides[d - 1] = strides[d] * src.explicit_dims[d].size;
+  }
+
+  // Accumulators per output row per array position.
+  std::vector<double> sum(out_rows * alen, 0.0);
+  std::vector<double> sum_sq(op == ReduceOp::kStd ? out_rows * alen : 0, 0.0);
+  std::vector<float> extreme(out_rows * alen,
+                             op == ReduceOp::kMax ? -std::numeric_limits<float>::infinity()
+                                                  : std::numeric_limits<float>::infinity());
+
+  std::vector<std::size_t> idx(src.explicit_dims.size(), 0);
+  const std::size_t src_rows = src.row_count();
+  for (std::size_t row = 0; row < src_rows; ++row) {
+    // Output row index: strip dim_index from the multi-index.
+    std::size_t out_row = 0;
+    for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
+      if (d == dim_index) continue;
+      out_row = out_row * src.explicit_dims[d].size + idx[d];
+    }
+    const float* src_values = dense.data() + row * alen;
+    for (std::size_t k = 0; k < alen; ++k) {
+      const std::size_t o = out_row * alen + k;
+      const float v = src_values[k];
+      sum[o] += v;
+      if (op == ReduceOp::kStd) sum_sq[o] += static_cast<double>(v) * v;
+      if (op == ReduceOp::kMax) extreme[o] = std::max(extreme[o], v);
+      if (op == ReduceOp::kMin) extreme[o] = std::min(extreme[o], v);
+    }
+    for (std::size_t d = src.explicit_dims.size(); d-- > 0;) {
+      if (++idx[d] < src.explicit_dims[d].size) break;
+      idx[d] = 0;
+    }
+  }
+
+  std::vector<float> out_dense(out_rows * alen);
+  for (std::size_t o = 0; o < out_dense.size(); ++o) {
+    switch (op) {
+      case ReduceOp::kSum: out_dense[o] = static_cast<float>(sum[o]); break;
+      case ReduceOp::kAvg: out_dense[o] = static_cast<float>(sum[o] / collapse_n); break;
+      case ReduceOp::kMax:
+      case ReduceOp::kMin: out_dense[o] = extreme[o]; break;
+      case ReduceOp::kCount: out_dense[o] = static_cast<float>(collapse_n); break;
+      case ReduceOp::kStd: {
+        const double mean = sum[o] / collapse_n;
+        const double var = std::max(0.0, sum_sq[o] / collapse_n - mean * mean);
+        out_dense[o] = static_cast<float>(std::sqrt(var));
+        break;
+      }
+    }
+  }
+  if (out_dims.empty()) out_dims.push_back({"scalar", 1, {}});
+  CubeData out = cube_from_dense(src.measure, std::move(out_dims), src.implicit_dim, out_dense,
+                                 nservers, nservers);
+  out.description = description.empty() ? "aggregate(" + dim_name + ")" : description;
+  return out;
+}
+
+}  // namespace engine
+}  // namespace climate::datacube

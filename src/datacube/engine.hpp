@@ -1,0 +1,64 @@
+// The datacube operator engine: the operator vocabulary (reduce/intercube
+// enums and their parsers) and the pure fragment kernels behind every
+// server operator. Kernels are free functions from immutable input cubes to
+// a new CubeData — no catalog, no stats, no locks — so they can run from
+// any session concurrently; fragment-parallel ones take a ParallelRunner
+// that the server binds to its I/O-server pool. The serving concerns
+// (catalog, admission, stats) live in server.{hpp,cpp}.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "datacube/cube.hpp"
+
+namespace climate::datacube {
+
+/// Reduction operators over the implicit (array) dimension.
+enum class ReduceOp { kMax, kMin, kSum, kAvg, kStd, kCount };
+
+/// Parses "max"/"min"/"sum"/"avg"/"std"/"count".
+Result<ReduceOp> parse_reduce_op(const std::string& name);
+
+/// Element-wise binary cube operators.
+enum class InterOp { kAdd, kSub, kMul, kDiv, kMask };
+
+/// Parses "add"/"sub"/"mul"/"div"/"mask".
+Result<InterOp> parse_inter_op(const std::string& name);
+
+namespace engine {
+
+/// Runs fn(i) for i in [0, count); the server binds this to its pool.
+using ParallelRunner =
+    std::function<void(std::size_t count, const std::function<void(std::size_t)>& fn)>;
+
+/// Reduces the implicit dimension; group_size 0 collapses the whole array.
+Result<CubeData> reduce(const CubeData& src, ReduceOp op, std::size_t group_size,
+                        const std::string& description, const ParallelRunner& run);
+
+/// Applies an array expression per row.
+Result<CubeData> apply(const CubeData& src, const std::string& expression,
+                       const std::string& description, const ParallelRunner& run);
+
+/// Element-wise binary operator between two shape-identical cubes.
+Result<CubeData> intercube(const CubeData& a, const CubeData& b, InterOp op,
+                           const std::string& description, const ParallelRunner& run);
+
+/// Subsets a dimension by inclusive index range [start, end].
+Result<CubeData> subset(const CubeData& src, const std::string& dim_name, std::size_t start,
+                        std::size_t end, const std::string& description, std::size_t nservers);
+
+/// Concatenates two cubes along the first explicit dimension.
+Result<CubeData> merge(const CubeData& a, const CubeData& b, const std::string& description,
+                       std::size_t nservers);
+
+/// Concatenates two cubes along the implicit (array) dimension.
+Result<CubeData> concat_implicit(const CubeData& a, const CubeData& b,
+                                 const std::string& description, std::size_t nservers);
+
+/// Collapses one explicit dimension with a reduction.
+Result<CubeData> aggregate(const CubeData& src, const std::string& dim_name, ReduceOp op,
+                           const std::string& description, std::size_t nservers);
+
+}  // namespace engine
+}  // namespace climate::datacube

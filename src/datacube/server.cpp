@@ -1,8 +1,9 @@
 #include "datacube/server.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/log.hpp"
 #include "ncio/ncfile.hpp"
@@ -10,70 +11,74 @@
 
 namespace climate::datacube {
 namespace {
+
 constexpr const char* kLogTag = "datacube";
+
+thread_local std::string t_session = "default";
+
+}  // namespace
+
+Server::SessionScope::SessionScope(std::string session) : previous_(t_session) {
+  t_session = std::move(session);
 }
 
-Result<ReduceOp> parse_reduce_op(const std::string& name) {
-  if (name == "max") return ReduceOp::kMax;
-  if (name == "min") return ReduceOp::kMin;
-  if (name == "sum") return ReduceOp::kSum;
-  if (name == "avg" || name == "mean") return ReduceOp::kAvg;
-  if (name == "std") return ReduceOp::kStd;
-  if (name == "count") return ReduceOp::kCount;
-  return Status::InvalidArgument("unknown reduce operation '" + name + "'");
-}
+Server::SessionScope::~SessionScope() { t_session = previous_; }
 
-Result<InterOp> parse_inter_op(const std::string& name) {
-  if (name == "add") return InterOp::kAdd;
-  if (name == "sub") return InterOp::kSub;
-  if (name == "mul") return InterOp::kMul;
-  if (name == "div") return InterOp::kDiv;
-  if (name == "mask") return InterOp::kMask;
-  return Status::InvalidArgument("unknown intercube operation '" + name + "'");
-}
+const std::string& Server::current_session() { return t_session; }
 
 Server::Server(std::size_t io_servers) { set_io_servers(io_servers); }
 
 void Server::set_io_servers(std::size_t count) {
   count = std::max<std::size_t>(1, count);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<common::ThreadPool> retired;  // destroyed outside the lock
+  std::lock_guard<std::mutex> lock(pool_mutex_);
   if (count == io_servers_) return;
-  pool_ = std::make_unique<common::ThreadPool>(count);
+  retired = std::move(pool_);
+  pool_ = std::make_shared<common::ThreadPool>(count);
   io_servers_ = count;
 }
 
 std::size_t Server::io_servers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(pool_mutex_);
   return io_servers_;
 }
 
 void Server::run_fragments(std::size_t count, const std::function<void(std::size_t)>& fn) {
-  common::ThreadPool* pool;
+  // Copy the shared_ptr so a concurrent set_io_servers swap cannot destroy
+  // the pool while this run uses it; in-flight runs simply finish on the
+  // retired pool.
+  std::shared_ptr<common::ThreadPool> pool;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    pool = pool_.get();
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool = pool_;
   }
-  pool->parallel_for(count, fn);
+  const std::uint64_t latency_ns = fragment_latency_ns_.load(std::memory_order_relaxed);
+  if (latency_ns == 0) {
+    pool->parallel_for(count, fn);
+    return;
+  }
+  pool->parallel_for(count, [&](std::size_t i) {
+    // Simulated storage round-trip per fragment access (see
+    // set_fragment_latency_ns): models a distributed I/O-server deployment.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency_ns));
+    fn(i);
+  });
+}
+
+engine::ParallelRunner Server::fragment_runner() {
+  return [this](std::size_t count, const std::function<void(std::size_t)>& fn) {
+    run_fragments(count, fn);
+  };
 }
 
 std::string Server::register_cube(CubeData cube) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const std::string pid = "oph://local/datacube/" + std::to_string(next_id_++);
-  catalog_[pid] = std::make_shared<const CubeData>(std::move(cube));
-  creation_order_.push_back(pid);
-  ++stats_.cubes_created;
+  std::string pid = catalog_.insert(std::move(cube));
+  stats_.cubes_created.increment();
   return pid;
 }
 
 Result<std::shared_ptr<const CubeData>> Server::lookup(const std::string& pid) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = catalog_.find(pid);
-  if (it == catalog_.end()) {
-    OBS_COUNTER_ADD("datacube.catalog_misses", 1);
-    return Status::NotFound("no datacube '" + pid + "'");
-  }
-  OBS_COUNTER_ADD("datacube.catalog_hits", 1);
-  return it->second;
+  return catalog_.find(pid);
 }
 
 Result<std::string> Server::importnc(const std::string& path, const std::string& variable,
@@ -81,6 +86,8 @@ Result<std::string> Server::importnc(const std::string& path, const std::string&
   OBS_SPAN("datacube", "importnc");
   OBS_SCOPED_LATENCY("datacube.op_ns.importnc");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto reader = ncio::FileReader::open(path);
   if (!reader.ok()) return reader.status();
 
@@ -133,22 +140,19 @@ Result<std::string> Server::importnc(const std::string& path, const std::string&
   }
 
   std::size_t nfragments = options.nfragments;
-  std::size_t nservers;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    nservers = io_servers_;
-    stats_.disk_reads += 1;
-    stats_.disk_bytes_read += values->size() * sizeof(float);
-  }
+  const std::size_t nservers = io_servers();
+  stats_.disk_reads.increment();
+  stats_.disk_bytes_read.add(values->size() * sizeof(float));
   OBS_COUNTER_ADD("datacube.disk_bytes_read", values->size() * sizeof(float));
   if (nfragments == 0) nfragments = nservers;
 
   const std::size_t alen = cube.array_length();
   cube.fragments = make_fragments(cube.row_count(), alen, nfragments, nservers);
-  for (Fragment& frag : cube.fragments) {
+  run_fragments(cube.fragments.size(), [&](std::size_t f) {
+    Fragment& frag = cube.fragments[f];
     std::memcpy(frag.values.data(), values->data() + frag.row_start * alen,
                 frag.values.size() * sizeof(float));
-  }
+  });
   LOG_DEBUG(kLogTag) << "importnc " << path << ":" << variable << " -> " << cube.element_count()
                      << " elements in " << cube.fragments.size() << " fragments";
   return register_cube(std::move(cube));
@@ -163,11 +167,7 @@ Result<std::string> Server::create_cube(std::string measure, std::vector<DimInfo
     return Status::InvalidArgument("create_cube: buffer has " + std::to_string(dense.size()) +
                                    " elements, expected " + std::to_string(rows * implicit_dim.size));
   }
-  std::size_t nservers;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    nservers = io_servers_;
-  }
+  const std::size_t nservers = io_servers();
   CubeData cube = cube_from_dense(std::move(measure), std::move(explicit_dims),
                                   std::move(implicit_dim), dense, nservers, nservers);
   cube.description = std::move(description);
@@ -178,6 +178,8 @@ Status Server::exportnc(const std::string& pid, const std::string& path) {
   OBS_SPAN("datacube", "exportnc");
   OBS_SCOPED_LATENCY("datacube.op_ns.exportnc");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& cube = **cube_result;
@@ -225,11 +227,8 @@ Status Server::exportnc(const std::string& pid, const std::string& path) {
   const std::vector<float> dense = cube.to_dense();
   CLIMATE_RETURN_IF_ERROR(writer->put_var(cube.measure, dense.data(), dense.size()));
   CLIMATE_RETURN_IF_ERROR(writer->close());
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.disk_writes += 1;
-    stats_.disk_bytes_written += dense.size() * sizeof(float);
-  }
+  stats_.disk_writes.increment();
+  stats_.disk_bytes_written.add(dense.size() * sizeof(float));
   OBS_COUNTER_ADD("datacube.disk_bytes_written", dense.size() * sizeof(float));
   return Status::Ok();
 }
@@ -239,86 +238,16 @@ Result<std::string> Server::reduce(const std::string& pid, ReduceOp op, std::siz
   OBS_SPAN("datacube", "reduce");
   OBS_SCOPED_LATENCY("datacube.op_ns.reduce");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& src = **cube_result;
-  const std::size_t alen = src.array_length();
-  if (group_size == 0) group_size = alen;
-  const std::size_t out_len = (alen + group_size - 1) / group_size;
-
-  CubeData out;
-  out.measure = src.measure;
-  out.description = description.empty() ? "reduce" : description;
-  out.explicit_dims = src.explicit_dims;
-  out.implicit_dim = DimInfo{src.implicit_dim.name, out_len, {}};
-  if (out_len == alen) out.implicit_dim.coords = src.implicit_dim.coords;
-  out.fragments.resize(src.fragments.size());
-
-  const std::size_t gs = group_size;
-  run_fragments(src.fragments.size(), [&](std::size_t f) {
-    const Fragment& in_frag = src.fragments[f];
-    Fragment& out_frag = out.fragments[f];
-    out_frag.row_start = in_frag.row_start;
-    out_frag.row_count = in_frag.row_count;
-    out_frag.server = in_frag.server;
-    out_frag.values.assign(in_frag.row_count * out_len, 0.0f);
-    for (std::size_t r = 0; r < in_frag.row_count; ++r) {
-      const float* row = in_frag.values.data() + r * alen;
-      float* dst = out_frag.values.data() + r * out_len;
-      for (std::size_t g = 0; g < out_len; ++g) {
-        const std::size_t begin = g * gs;
-        const std::size_t end = std::min(alen, begin + gs);
-        const std::size_t n = end - begin;
-        switch (op) {
-          case ReduceOp::kMax: {
-            float m = row[begin];
-            for (std::size_t i = begin + 1; i < end; ++i) m = std::max(m, row[i]);
-            dst[g] = m;
-            break;
-          }
-          case ReduceOp::kMin: {
-            float m = row[begin];
-            for (std::size_t i = begin + 1; i < end; ++i) m = std::min(m, row[i]);
-            dst[g] = m;
-            break;
-          }
-          case ReduceOp::kSum: {
-            double s = 0;
-            for (std::size_t i = begin; i < end; ++i) s += row[i];
-            dst[g] = static_cast<float>(s);
-            break;
-          }
-          case ReduceOp::kAvg: {
-            double s = 0;
-            for (std::size_t i = begin; i < end; ++i) s += row[i];
-            dst[g] = static_cast<float>(s / static_cast<double>(n));
-            break;
-          }
-          case ReduceOp::kStd: {
-            double s = 0, s2 = 0;
-            for (std::size_t i = begin; i < end; ++i) {
-              s += row[i];
-              s2 += static_cast<double>(row[i]) * row[i];
-            }
-            const double mean = s / static_cast<double>(n);
-            const double var = std::max(0.0, s2 / static_cast<double>(n) - mean * mean);
-            dst[g] = static_cast<float>(std::sqrt(var));
-            break;
-          }
-          case ReduceOp::kCount: {
-            dst[g] = static_cast<float>(n);
-            break;
-          }
-        }
-      }
-    }
-  });
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.operators_executed;
-    stats_.elements_processed += src.element_count();
-  }
-  return register_cube(std::move(out));
+  auto out = engine::reduce(src, op, group_size, description, fragment_runner());
+  if (!out.ok()) return out.status();
+  stats_.operators_executed.increment();
+  stats_.elements_processed.add(src.element_count());
+  return register_cube(std::move(*out));
 }
 
 Result<std::string> Server::apply(const std::string& pid, const std::string& expression,
@@ -326,56 +255,16 @@ Result<std::string> Server::apply(const std::string& pid, const std::string& exp
   OBS_SPAN("datacube", "apply");
   OBS_SCOPED_LATENCY("datacube.op_ns.apply");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& src = **cube_result;
-
-  auto expr = Expression::parse(expression);
-  if (!expr.ok()) return expr.status();
-
-  const std::size_t alen = src.array_length();
-  // Determine output length on a probe row.
-  std::vector<float> probe(alen, 0.0f);
-  const std::size_t out_len = expr->eval(probe).size();
-  if (out_len == 0) return Status::InvalidArgument("expression produces empty output");
-
-  CubeData out;
-  out.measure = src.measure;
-  out.description = description.empty() ? "apply(" + expression + ")" : description;
-  out.explicit_dims = src.explicit_dims;
-  out.implicit_dim = DimInfo{src.implicit_dim.name, out_len, {}};
-  if (out_len == alen) out.implicit_dim.coords = src.implicit_dim.coords;
-  out.fragments.resize(src.fragments.size());
-
-  std::atomic<bool> length_error{false};
-  run_fragments(src.fragments.size(), [&](std::size_t f) {
-    const Fragment& in_frag = src.fragments[f];
-    Fragment& out_frag = out.fragments[f];
-    out_frag.row_start = in_frag.row_start;
-    out_frag.row_count = in_frag.row_count;
-    out_frag.server = in_frag.server;
-    out_frag.values.assign(in_frag.row_count * out_len, 0.0f);
-    std::vector<float> row(alen);
-    for (std::size_t r = 0; r < in_frag.row_count; ++r) {
-      std::memcpy(row.data(), in_frag.values.data() + r * alen, alen * sizeof(float));
-      std::vector<float> result = expr->eval(row);
-      if (result.size() == 1 && out_len > 1) result.assign(out_len, result[0]);
-      if (result.size() != out_len) {
-        length_error.store(true);
-        return;
-      }
-      std::memcpy(out_frag.values.data() + r * out_len, result.data(), out_len * sizeof(float));
-    }
-  });
-  if (length_error.load()) {
-    return Status::Internal("expression produced rows of differing lengths");
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.operators_executed;
-    stats_.elements_processed += src.element_count();
-  }
-  return register_cube(std::move(out));
+  auto out = engine::apply(src, expression, description, fragment_runner());
+  if (!out.ok()) return out.status();
+  stats_.operators_executed.increment();
+  stats_.elements_processed.add(src.element_count());
+  return register_cube(std::move(*out));
 }
 
 Result<std::string> Server::intercube(const std::string& pid_a, const std::string& pid_b,
@@ -383,56 +272,19 @@ Result<std::string> Server::intercube(const std::string& pid_a, const std::strin
   OBS_SPAN("datacube", "intercube");
   OBS_SCOPED_LATENCY("datacube.op_ns.intercube");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
   auto b_result = lookup(pid_b);
   if (!b_result.ok()) return b_result.status();
   const CubeData& a = **a_result;
   const CubeData& b = **b_result;
-  if (a.row_count() != b.row_count() || a.array_length() != b.array_length()) {
-    return Status::InvalidArgument("intercube: shape mismatch (" + std::to_string(a.row_count()) +
-                                   "x" + std::to_string(a.array_length()) + " vs " +
-                                   std::to_string(b.row_count()) + "x" +
-                                   std::to_string(b.array_length()) + ")");
-  }
-
-  // b may be fragmented differently: use a dense view of it.
-  const std::vector<float> b_dense = b.to_dense();
-  const std::size_t alen = a.array_length();
-
-  CubeData out;
-  out.measure = a.measure;
-  out.description = description.empty() ? "intercube" : description;
-  out.explicit_dims = a.explicit_dims;
-  out.implicit_dim = a.implicit_dim;
-  out.fragments.resize(a.fragments.size());
-
-  run_fragments(a.fragments.size(), [&](std::size_t f) {
-    const Fragment& in_frag = a.fragments[f];
-    Fragment& out_frag = out.fragments[f];
-    out_frag.row_start = in_frag.row_start;
-    out_frag.row_count = in_frag.row_count;
-    out_frag.server = in_frag.server;
-    out_frag.values.resize(in_frag.values.size());
-    const float* bv = b_dense.data() + in_frag.row_start * alen;
-    for (std::size_t i = 0; i < in_frag.values.size(); ++i) {
-      const float x = in_frag.values[i];
-      const float y = bv[i];
-      switch (op) {
-        case InterOp::kAdd: out_frag.values[i] = x + y; break;
-        case InterOp::kSub: out_frag.values[i] = x - y; break;
-        case InterOp::kMul: out_frag.values[i] = x * y; break;
-        case InterOp::kDiv: out_frag.values[i] = y == 0.0f ? 0.0f : x / y; break;
-        case InterOp::kMask: out_frag.values[i] = y > 0.0f ? x : 0.0f; break;
-      }
-    }
-  });
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.operators_executed;
-    stats_.elements_processed += a.element_count() * 2;
-  }
-  return register_cube(std::move(out));
+  auto out = engine::intercube(a, b, op, description, fragment_runner());
+  if (!out.ok()) return out.status();
+  stats_.operators_executed.increment();
+  stats_.elements_processed.add(a.element_count() * 2);
+  return register_cube(std::move(*out));
 }
 
 Result<std::string> Server::subset(const std::string& pid, const std::string& dim_name,
@@ -441,96 +293,16 @@ Result<std::string> Server::subset(const std::string& pid, const std::string& di
   OBS_SPAN("datacube", "subset");
   OBS_SCOPED_LATENCY("datacube.op_ns.subset");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& src = **cube_result;
-  if (end < start) return Status::InvalidArgument("subset: end < start");
-
-  const std::vector<float> dense = src.to_dense();
-  const std::size_t alen = src.array_length();
-
-  auto slice_coords = [&](const DimInfo& dim) {
-    DimInfo out{dim.name, end - start + 1, {}};
-    if (!dim.coords.empty()) {
-      out.coords.assign(dim.coords.begin() + static_cast<long>(start),
-                        dim.coords.begin() + static_cast<long>(end) + 1);
-    }
-    return out;
-  };
-
-  std::size_t nservers;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    nservers = io_servers_;
-  }
-
-  if (src.implicit_dim.name == dim_name) {
-    if (end >= alen) return Status::OutOfRange("subset: index past implicit dimension");
-    const std::size_t new_len = end - start + 1;
-    std::vector<float> out_dense(src.row_count() * new_len);
-    for (std::size_t r = 0; r < src.row_count(); ++r) {
-      std::memcpy(out_dense.data() + r * new_len, dense.data() + r * alen + start,
-                  new_len * sizeof(float));
-    }
-    CubeData out = cube_from_dense(src.measure, src.explicit_dims, slice_coords(src.implicit_dim),
-                                   out_dense, nservers, nservers);
-    out.description = description.empty() ? "subset(" + dim_name + ")" : description;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.operators_executed;
-      stats_.elements_processed += src.element_count();
-    }
-    return register_cube(std::move(out));
-  }
-
-  // Explicit dimension subset: select rows whose index on dim_name lies in
-  // [start, end].
-  std::size_t dim_index = src.explicit_dims.size();
-  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
-    if (src.explicit_dims[d].name == dim_name) dim_index = d;
-  }
-  if (dim_index == src.explicit_dims.size()) {
-    return Status::NotFound("subset: no dimension '" + dim_name + "'");
-  }
-  if (end >= src.explicit_dims[dim_index].size) {
-    return Status::OutOfRange("subset: index past dimension '" + dim_name + "'");
-  }
-
-  std::vector<DimInfo> out_dims = src.explicit_dims;
-  out_dims[dim_index] = slice_coords(src.explicit_dims[dim_index]);
-
-  std::size_t out_rows = 1;
-  for (const DimInfo& d : out_dims) out_rows *= d.size;
-  std::vector<float> out_dense(out_rows * alen);
-
-  // Row-major walk over the output index space, mapping back to source rows.
-  std::vector<std::size_t> src_strides(src.explicit_dims.size(), 1);
-  for (std::size_t d = src.explicit_dims.size(); d-- > 1;) {
-    src_strides[d - 1] = src_strides[d] * src.explicit_dims[d].size;
-  }
-  std::vector<std::size_t> idx(out_dims.size(), 0);
-  for (std::size_t out_row = 0; out_row < out_rows; ++out_row) {
-    std::size_t src_row = 0;
-    for (std::size_t d = 0; d < out_dims.size(); ++d) {
-      const std::size_t src_idx = d == dim_index ? idx[d] + start : idx[d];
-      src_row += src_idx * src_strides[d];
-    }
-    std::memcpy(out_dense.data() + out_row * alen, dense.data() + src_row * alen,
-                alen * sizeof(float));
-    for (std::size_t d = out_dims.size(); d-- > 0;) {
-      if (++idx[d] < out_dims[d].size) break;
-      idx[d] = 0;
-    }
-  }
-  CubeData out = cube_from_dense(src.measure, std::move(out_dims), src.implicit_dim, out_dense,
-                                 nservers, nservers);
-  out.description = description.empty() ? "subset(" + dim_name + ")" : description;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.operators_executed;
-    stats_.elements_processed += src.element_count();
-  }
-  return register_cube(std::move(out));
+  auto out = engine::subset(src, dim_name, start, end, description, io_servers());
+  if (!out.ok()) return out.status();
+  stats_.operators_executed.increment();
+  stats_.elements_processed.add(src.element_count());
+  return register_cube(std::move(*out));
 }
 
 Result<std::string> Server::merge(const std::string& pid_a, const std::string& pid_b,
@@ -538,47 +310,19 @@ Result<std::string> Server::merge(const std::string& pid_a, const std::string& p
   OBS_SPAN("datacube", "mergecubes");
   OBS_SCOPED_LATENCY("datacube.op_ns.mergecubes");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
   auto b_result = lookup(pid_b);
   if (!b_result.ok()) return b_result.status();
   const CubeData& a = **a_result;
   const CubeData& b = **b_result;
-  if (a.explicit_dims.empty() || b.explicit_dims.empty()) {
-    return Status::InvalidArgument("merge: cubes need an explicit dimension");
-  }
-  if (a.explicit_dims.size() != b.explicit_dims.size() || a.array_length() != b.array_length()) {
-    return Status::InvalidArgument("merge: schema mismatch");
-  }
-  for (std::size_t d = 1; d < a.explicit_dims.size(); ++d) {
-    if (a.explicit_dims[d].size != b.explicit_dims[d].size) {
-      return Status::InvalidArgument("merge: inner dimension size mismatch");
-    }
-  }
-
-  std::vector<DimInfo> out_dims = a.explicit_dims;
-  out_dims[0].size += b.explicit_dims[0].size;
-  out_dims[0].coords.clear();
-  if (!a.explicit_dims[0].coords.empty() && !b.explicit_dims[0].coords.empty()) {
-    out_dims[0].coords = a.explicit_dims[0].coords;
-    out_dims[0].coords.insert(out_dims[0].coords.end(), b.explicit_dims[0].coords.begin(),
-                              b.explicit_dims[0].coords.end());
-  }
-  std::vector<float> dense = a.to_dense();
-  const std::vector<float> b_dense = b.to_dense();
-  dense.insert(dense.end(), b_dense.begin(), b_dense.end());
-
-  std::size_t nservers;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    nservers = io_servers_;
-    ++stats_.operators_executed;
-    stats_.elements_processed += dense.size();
-  }
-  CubeData out =
-      cube_from_dense(a.measure, std::move(out_dims), a.implicit_dim, dense, nservers, nservers);
-  out.description = description.empty() ? "merge" : description;
-  return register_cube(std::move(out));
+  auto out = engine::merge(a, b, description, io_servers());
+  if (!out.ok()) return out.status();
+  stats_.operators_executed.increment();
+  stats_.elements_processed.add(a.element_count() + b.element_count());
+  return register_cube(std::move(*out));
 }
 
 Result<std::string> Server::concat_implicit(const std::string& pid_a, const std::string& pid_b,
@@ -586,52 +330,19 @@ Result<std::string> Server::concat_implicit(const std::string& pid_a, const std:
   OBS_SPAN("datacube", "concat");
   OBS_SCOPED_LATENCY("datacube.op_ns.concat");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
   auto b_result = lookup(pid_b);
   if (!b_result.ok()) return b_result.status();
   const CubeData& a = **a_result;
   const CubeData& b = **b_result;
-  if (a.row_count() != b.row_count() || a.explicit_dims.size() != b.explicit_dims.size()) {
-    return Status::InvalidArgument("concat_implicit: explicit dimension mismatch");
-  }
-  for (std::size_t d = 0; d < a.explicit_dims.size(); ++d) {
-    if (a.explicit_dims[d].size != b.explicit_dims[d].size) {
-      return Status::InvalidArgument("concat_implicit: explicit dimension size mismatch");
-    }
-  }
-  const std::size_t alen_a = a.array_length();
-  const std::size_t alen_b = b.array_length();
-  const std::vector<float> dense_a = a.to_dense();
-  const std::vector<float> dense_b = b.to_dense();
-  const std::size_t rows = a.row_count();
-  std::vector<float> out_dense(rows * (alen_a + alen_b));
-  for (std::size_t r = 0; r < rows; ++r) {
-    std::memcpy(out_dense.data() + r * (alen_a + alen_b), dense_a.data() + r * alen_a,
-                alen_a * sizeof(float));
-    std::memcpy(out_dense.data() + r * (alen_a + alen_b) + alen_a, dense_b.data() + r * alen_b,
-                alen_b * sizeof(float));
-  }
-  DimInfo implicit = a.implicit_dim;
-  implicit.size = alen_a + alen_b;
-  if (!a.implicit_dim.coords.empty() && !b.implicit_dim.coords.empty()) {
-    implicit.coords = a.implicit_dim.coords;
-    implicit.coords.insert(implicit.coords.end(), b.implicit_dim.coords.begin(),
-                           b.implicit_dim.coords.end());
-  } else {
-    implicit.coords.clear();
-  }
-  std::size_t nservers;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    nservers = io_servers_;
-    ++stats_.operators_executed;
-    stats_.elements_processed += out_dense.size();
-  }
-  CubeData out = cube_from_dense(a.measure, a.explicit_dims, std::move(implicit), out_dense,
-                                 nservers, nservers);
-  out.description = description.empty() ? "concat_implicit" : description;
-  return register_cube(std::move(out));
+  auto out = engine::concat_implicit(a, b, description, io_servers());
+  if (!out.ok()) return out.status();
+  stats_.operators_executed.increment();
+  stats_.elements_processed.add(a.element_count() + b.element_count());
+  return register_cube(std::move(*out));
 }
 
 Result<std::string> Server::aggregate(const std::string& pid, const std::string& dim_name,
@@ -639,106 +350,21 @@ Result<std::string> Server::aggregate(const std::string& pid, const std::string&
   OBS_SPAN("datacube", "aggregate");
   OBS_SCOPED_LATENCY("datacube.op_ns.aggregate");
   OBS_COUNTER_ADD("datacube.operators", 1);
+  auto ticket = admission_.admit(current_session());
+  if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
   const CubeData& src = **cube_result;
-
-  std::size_t dim_index = src.explicit_dims.size();
-  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
-    if (src.explicit_dims[d].name == dim_name) dim_index = d;
-  }
-  if (dim_index == src.explicit_dims.size()) {
-    return Status::NotFound("aggregate: no explicit dimension '" + dim_name + "'");
-  }
-
-  const std::size_t alen = src.array_length();
-  const std::vector<float> dense = src.to_dense();
-
-  // Output dims: the collapsed one removed.
-  std::vector<DimInfo> out_dims;
-  for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
-    if (d != dim_index) out_dims.push_back(src.explicit_dims[d]);
-  }
-  std::size_t out_rows = 1;
-  for (const DimInfo& d : out_dims) out_rows *= d.size;
-  const std::size_t collapse_n = src.explicit_dims[dim_index].size;
-
-  // Strides of the source row index space.
-  std::vector<std::size_t> strides(src.explicit_dims.size(), 1);
-  for (std::size_t d = src.explicit_dims.size(); d-- > 1;) {
-    strides[d - 1] = strides[d] * src.explicit_dims[d].size;
-  }
-
-  // Accumulators per output row per array position.
-  std::vector<double> sum(out_rows * alen, 0.0);
-  std::vector<double> sum_sq(op == ReduceOp::kStd ? out_rows * alen : 0, 0.0);
-  std::vector<float> extreme(out_rows * alen,
-                             op == ReduceOp::kMax ? -std::numeric_limits<float>::infinity()
-                                                  : std::numeric_limits<float>::infinity());
-
-  std::vector<std::size_t> idx(src.explicit_dims.size(), 0);
-  const std::size_t src_rows = src.row_count();
-  for (std::size_t row = 0; row < src_rows; ++row) {
-    // Output row index: strip dim_index from the multi-index.
-    std::size_t out_row = 0;
-    for (std::size_t d = 0; d < src.explicit_dims.size(); ++d) {
-      if (d == dim_index) continue;
-      out_row = out_row * src.explicit_dims[d].size + idx[d];
-    }
-    const float* src_values = dense.data() + row * alen;
-    for (std::size_t k = 0; k < alen; ++k) {
-      const std::size_t o = out_row * alen + k;
-      const float v = src_values[k];
-      sum[o] += v;
-      if (op == ReduceOp::kStd) sum_sq[o] += static_cast<double>(v) * v;
-      if (op == ReduceOp::kMax) extreme[o] = std::max(extreme[o], v);
-      if (op == ReduceOp::kMin) extreme[o] = std::min(extreme[o], v);
-    }
-    for (std::size_t d = src.explicit_dims.size(); d-- > 0;) {
-      if (++idx[d] < src.explicit_dims[d].size) break;
-      idx[d] = 0;
-    }
-  }
-
-  std::vector<float> out_dense(out_rows * alen);
-  for (std::size_t o = 0; o < out_dense.size(); ++o) {
-    switch (op) {
-      case ReduceOp::kSum: out_dense[o] = static_cast<float>(sum[o]); break;
-      case ReduceOp::kAvg: out_dense[o] = static_cast<float>(sum[o] / collapse_n); break;
-      case ReduceOp::kMax:
-      case ReduceOp::kMin: out_dense[o] = extreme[o]; break;
-      case ReduceOp::kCount: out_dense[o] = static_cast<float>(collapse_n); break;
-      case ReduceOp::kStd: {
-        const double mean = sum[o] / collapse_n;
-        const double var = std::max(0.0, sum_sq[o] / collapse_n - mean * mean);
-        out_dense[o] = static_cast<float>(std::sqrt(var));
-        break;
-      }
-    }
-  }
-  std::size_t nservers;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    nservers = io_servers_;
-    ++stats_.operators_executed;
-    stats_.elements_processed += dense.size();
-  }
-  if (out_dims.empty()) out_dims.push_back({"scalar", 1, {}});
-  CubeData out = cube_from_dense(src.measure, std::move(out_dims), src.implicit_dim, out_dense,
-                                 nservers, nservers);
-  out.description = description.empty() ? "aggregate(" + dim_name + ")" : description;
-  return register_cube(std::move(out));
+  auto out = engine::aggregate(src, dim_name, op, description, io_servers());
+  if (!out.ok()) return out.status();
+  stats_.operators_executed.increment();
+  stats_.elements_processed.add(src.element_count());
+  return register_cube(std::move(*out));
 }
 
 Status Server::delete_cube(const std::string& pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = catalog_.find(pid);
-  if (it == catalog_.end()) return Status::NotFound("no datacube '" + pid + "'");
-  catalog_.erase(it);
-  metadata_.erase(pid);
-  creation_order_.erase(std::remove(creation_order_.begin(), creation_order_.end(), pid),
-                        creation_order_.end());
-  ++stats_.cubes_deleted;
+  CLIMATE_RETURN_IF_ERROR(catalog_.erase(pid));
+  stats_.cubes_deleted.increment();
   return Status::Ok();
 }
 
@@ -768,38 +394,31 @@ Result<std::vector<float>> Server::fetch_dense(const std::string& pid) const {
   return (*cube_result)->to_dense();
 }
 
-std::vector<std::string> Server::list_cubes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return creation_order_;
-}
+std::vector<std::string> Server::list_cubes() const { return catalog_.list(); }
 
 Status Server::set_metadata(const std::string& pid, const std::string& key,
                             const std::string& value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (catalog_.find(pid) == catalog_.end()) return Status::NotFound("no datacube '" + pid + "'");
-  metadata_[pid][key] = value;
-  return Status::Ok();
+  return catalog_.set_metadata(pid, key, value);
 }
 
 Result<std::map<std::string, std::string>> Server::metadata(const std::string& pid) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (catalog_.find(pid) == catalog_.end()) return Status::NotFound("no datacube '" + pid + "'");
-  auto it = metadata_.find(pid);
-  if (it == metadata_.end()) return std::map<std::string, std::string>{};
-  return it->second;
+  return catalog_.metadata(pid);
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServerStats snap;
+  snap.operators_executed = stats_.operators_executed.total();
+  snap.disk_reads = stats_.disk_reads.total();
+  snap.disk_bytes_read = stats_.disk_bytes_read.total();
+  snap.disk_writes = stats_.disk_writes.total();
+  snap.disk_bytes_written = stats_.disk_bytes_written.total();
+  snap.elements_processed = stats_.elements_processed.total();
+  snap.cubes_created = stats_.cubes_created.total();
+  snap.cubes_deleted = stats_.cubes_deleted.total();
+  return snap;
 }
 
-std::size_t Server::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t bytes = 0;
-  for (const auto& [pid, cube] : catalog_) bytes += cube->byte_size();
-  return bytes;
-}
+std::size_t Server::resident_bytes() const { return catalog_.resident_bytes(); }
 
 }  // namespace climate::datacube
 

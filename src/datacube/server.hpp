@@ -10,10 +10,24 @@
 // can store the datasets in memory between different operators' execution"),
 // and the number of I/O servers can be scaled up dynamically (experiment E4).
 //
+// The serving path is built for concurrent multi-session traffic:
+//  - the catalog is sharded with per-shard locks (datacube/catalog.hpp), so
+//    sessions contend only on PID-hash collisions;
+//  - an admission layer (datacube/admission.hpp) bounds in-flight operators
+//    and serves queued sessions round-robin, rejecting with UNAVAILABLE
+//    instead of blocking unboundedly when a session's queue is full;
+//  - stats are striped atomics: updates never take a lock, snapshots are
+//    torn-free per field and exact at quiescence;
+//  - operator kernels are pure functions in datacube/engine.hpp, executed
+//    on the shared I/O-server pool, which is swap-safe (held via shared_ptr
+//    for the duration of every fragment run) so set_io_servers can resize
+//    the pool mid-flight.
+//
 // Disk I/O happens only in importnc/exportnc and is counted in the stats,
 // which is what the in-memory-reuse experiment (E3) measures.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,26 +35,18 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/striped.hpp"
 #include "common/thread_pool.hpp"
+#include "datacube/admission.hpp"
+#include "datacube/catalog.hpp"
 #include "datacube/cube.hpp"
-#include "datacube/expression.hpp"
+#include "datacube/engine.hpp"
 
 namespace climate::datacube {
 
-/// Reduction operators over the implicit (array) dimension.
-enum class ReduceOp { kMax, kMin, kSum, kAvg, kStd, kCount };
-
-/// Parses "max"/"min"/"sum"/"avg"/"std"/"count".
-Result<ReduceOp> parse_reduce_op(const std::string& name);
-
-/// Element-wise binary cube operators.
-enum class InterOp { kAdd, kSub, kMul, kDiv, kMask };
-
-/// Parses "add"/"sub"/"mul"/"div"/"mask".
-Result<InterOp> parse_inter_op(const std::string& name);
-
 /// Aggregate framework counters (reads are disk operations; everything else
-/// happens in memory).
+/// happens in memory). A stats() snapshot is torn-free per field, monotone
+/// between calls, and exact once no operators are in flight.
 struct ServerStats {
   std::uint64_t operators_executed = 0;
   std::uint64_t disk_reads = 0;          ///< Variable reads from CDF-lite files.
@@ -82,8 +88,40 @@ class Server {
   /// Scales the I/O server pool (paper: "the number of Ophidia computing
   /// components can be scaled up, also dynamically"). Existing cubes keep
   /// their fragmentation; processing parallelism changes immediately.
+  /// In-flight operators finish on the pool they started on.
   void set_io_servers(std::size_t count);
   std::size_t io_servers() const;
+
+  // ----- sessions & admission ---------------------------------------------
+
+  /// Binds the calling thread to a named session for admission fairness.
+  /// Operators issued while the scope is alive queue under that session;
+  /// unscoped calls run as session "default". Nested scopes override.
+  class SessionScope {
+   public:
+    explicit SessionScope(std::string session);
+    ~SessionScope();
+    SessionScope(const SessionScope&) = delete;
+    SessionScope& operator=(const SessionScope&) = delete;
+
+   private:
+    std::string previous_;
+  };
+
+  /// The calling thread's session name ("default" if unscoped).
+  static const std::string& current_session();
+
+  /// Reconfigures the operator admission bounds.
+  void set_admission(AdmissionOptions options) { admission_.set_options(options); }
+  AdmissionOptions admission_options() const { return admission_.options(); }
+  AdmissionController::Snapshot admission_snapshot() const { return admission_.snapshot(); }
+
+  /// Simulated storage round-trip paid per fragment access, modelling the
+  /// distributed deployment's I/O-server latency (0 = in-memory only).
+  /// Bench E8 uses this for the latency-bound serving regime.
+  void set_fragment_latency_ns(std::uint64_t ns) {
+    fragment_latency_ns_.store(ns, std::memory_order_relaxed);
+  }
 
   // ----- data ingestion / egress ------------------------------------------
 
@@ -164,6 +202,9 @@ class Server {
   /// Total bytes of all catalogued cubes (in-memory footprint).
   std::size_t resident_bytes() const;
 
+  /// Contended catalog shard-lock acquisitions (see CubeCatalog).
+  std::uint64_t catalog_contention() const { return catalog_.lock_contention(); }
+
   // ----- textual operator dispatch ----------------------------------------
 
   /// Executes one operator from a JSON request, the wire-level submission
@@ -186,19 +227,35 @@ class Server {
   Result<common::Json> execute(const common::Json& request);
 
  private:
+  /// Lock-free striped counterpart of ServerStats.
+  struct StripedStats {
+    common::StripedCounter operators_executed;
+    common::StripedCounter disk_reads;
+    common::StripedCounter disk_bytes_read;
+    common::StripedCounter disk_writes;
+    common::StripedCounter disk_bytes_written;
+    common::StripedCounter elements_processed;
+    common::StripedCounter cubes_created;
+    common::StripedCounter cubes_deleted;
+  };
+
   std::string register_cube(CubeData cube);
   Result<std::shared_ptr<const CubeData>> lookup(const std::string& pid) const;
-  /// Runs `fn(fragment_index)` across the I/O-server pool.
+  /// Runs `fn(fragment_index)` across the I/O-server pool; the pool is held
+  /// via shared_ptr so a concurrent set_io_servers cannot destroy it
+  /// mid-run.
   void run_fragments(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// The engine-facing binding of run_fragments.
+  engine::ParallelRunner fragment_runner();
 
-  mutable std::mutex mutex_;  // guards catalog, stats, pool swaps
-  std::map<std::string, std::shared_ptr<const CubeData>> catalog_;
-  std::vector<std::string> creation_order_;
-  std::map<std::string, std::map<std::string, std::string>> metadata_;
-  std::unique_ptr<common::ThreadPool> pool_;
+  CubeCatalog catalog_;
+  StripedStats stats_;
+  AdmissionController admission_;
+  std::atomic<std::uint64_t> fragment_latency_ns_{0};
+
+  mutable std::mutex pool_mutex_;  // guards pool swaps only
+  std::shared_ptr<common::ThreadPool> pool_;
   std::size_t io_servers_ = 0;
-  std::uint64_t next_id_ = 1;
-  ServerStats stats_;
 };
 
 }  // namespace climate::datacube

@@ -1,5 +1,7 @@
 #include "hpcwaas/service.hpp"
 
+#include <cctype>
+
 #include "common/strings.hpp"
 
 namespace climate::hpcwaas {
@@ -153,15 +155,64 @@ std::vector<WorkflowEntry> HpcWaasService::workflows() const {
   return out;
 }
 
-Result<Json> HpcWaasService::handle(const std::string& method, const std::string& path,
-                                    const Json& body) {
-  const std::vector<std::string> parts = common::split(path, '/');
-  // parts[0] is empty for a leading '/'.
-  auto segment = [&](std::size_t i) -> std::string {
-    return i + 1 < parts.size() ? parts[i + 1] : "";
-  };
+namespace {
 
-  if (method == "GET" && segment(0) == "workflows" && segment(1).empty()) {
+/// Builds the structured error envelope every failing REST response carries.
+HttpResponse error_response(int status, const std::string& code, const std::string& message,
+                            const std::string& detail) {
+  Json error = Json::object();
+  error["code"] = code;
+  error["message"] = message;
+  if (!detail.empty()) error["detail"] = detail;
+  Json body = Json::object();
+  body["error"] = std::move(error);
+  return HttpResponse{status, std::move(body)};
+}
+
+/// Maps a Status from the typed API onto an HTTP failure response.
+HttpResponse status_response(const Status& status, const std::string& route) {
+  switch (status.code()) {
+    case common::StatusCode::kInvalidArgument:
+    case common::StatusCode::kOutOfRange:
+      return error_response(400, "invalid_argument", status.message(), route);
+    case common::StatusCode::kNotFound:
+      return error_response(404, "not_found", status.message(), route);
+    case common::StatusCode::kFailedPrecondition:
+      return error_response(409, "failed_precondition", status.message(), route);
+    case common::StatusCode::kUnavailable:
+      return error_response(503, "unavailable", status.message(), route);
+    default:
+      return error_response(500, "internal", status.message(), route);
+  }
+}
+
+}  // namespace
+
+HttpResponse HpcWaasService::rest(const std::string& method, const std::string& path,
+                                  const Json& body) {
+  const std::string route = method + " " + path;
+  std::vector<std::string> parts = common::split(path, '/');
+  // parts[0] is empty for a leading '/'; drop it and any empty trailing
+  // segment so "/v1/workflows/" and "/v1/workflows" are the same route.
+  if (!parts.empty() && parts.front().empty()) parts.erase(parts.begin());
+  while (!parts.empty() && parts.back().empty()) parts.pop_back();
+
+  // Version prefix: "v1" (current) or none (legacy alias of v1). Any other
+  // "v<N>" prefix is an unknown API version.
+  if (!parts.empty() && parts.front() == "v1") {
+    parts.erase(parts.begin());
+  } else if (!parts.empty() && parts.front().size() >= 2 && parts.front()[0] == 'v' &&
+             std::isdigit(static_cast<unsigned char>(parts.front()[1]))) {
+    return error_response(404, "unknown_api_version",
+                          "unknown API version '" + parts.front() + "' (supported: v1)", route);
+  }
+  auto segment = [&](std::size_t i) -> std::string { return i < parts.size() ? parts[i] : ""; };
+
+  if (segment(0) == "workflows" && segment(1).empty()) {
+    if (method != "GET") {
+      return error_response(405, "method_not_allowed", method + " not allowed on /v1/workflows",
+                            route);
+    }
     Json list = Json::array();
     for (const WorkflowEntry& entry : workflows()) {
       Json item = Json::object();
@@ -172,12 +223,25 @@ Result<Json> HpcWaasService::handle(const std::string& method, const std::string
     }
     Json response = Json::object();
     response["workflows"] = std::move(list);
-    return response;
+    return HttpResponse{200, std::move(response)};
   }
-  if (method == "GET" && segment(0) == "workflows" && !segment(1).empty() && segment(2).empty()) {
+  if (segment(0) == "workflows" && !segment(1).empty() && segment(2).empty()) {
+    if (method == "DELETE") {
+      const Status status = undeploy_workflow(segment(1));
+      if (!status.ok()) return status_response(status, route);
+      Json response = Json::object();
+      response["undeployed"] = segment(1);
+      return HttpResponse{200, std::move(response)};
+    }
+    if (method != "GET") {
+      return error_response(405, "method_not_allowed",
+                            method + " not allowed on /v1/workflows/<id>", route);
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = workflows_.find(segment(1));
-    if (it == workflows_.end()) return Status::NotFound("no workflow '" + segment(1) + "'");
+    if (it == workflows_.end()) {
+      return error_response(404, "not_found", "no workflow '" + segment(1) + "'", route);
+    }
     Json response = Json::object();
     response["id"] = it->second.id;
     response["name"] = it->second.name;
@@ -193,27 +257,52 @@ Result<Json> HpcWaasService::handle(const std::string& method, const std::string
     }
     response["inputs"] = std::move(inputs);
     response["deployment_id"] = it->second.deployment.id;
-    return response;
+    return HttpResponse{200, std::move(response)};
   }
-  if (method == "POST" && segment(0) == "workflows" && segment(2) == "executions") {
+  if (segment(0) == "workflows" && segment(2) == "executions" && segment(3).empty()) {
+    if (method != "POST") {
+      return error_response(405, "method_not_allowed",
+                            method + " not allowed on /v1/workflows/<id>/executions", route);
+    }
     auto execution_id = invoke(segment(1), body);
-    if (!execution_id.ok()) return execution_id.status();
+    if (!execution_id.ok()) return status_response(execution_id.status(), route);
     Json response = Json::object();
     response["execution_id"] = *execution_id;
-    return response;
+    return HttpResponse{201, std::move(response)};
   }
-  if (method == "GET" && segment(0) == "executions" && !segment(1).empty()) {
+  if (segment(0) == "executions" && !segment(1).empty() && segment(2).empty()) {
+    if (method != "GET") {
+      return error_response(405, "method_not_allowed",
+                            method + " not allowed on /v1/executions/<id>", route);
+    }
     auto record = execution(segment(1));
-    if (!record.ok()) return record.status();
+    if (!record.ok()) return status_response(record.status(), route);
     Json response = Json::object();
     response["id"] = record->id;
     response["workflow_id"] = record->workflow_id;
     response["state"] = execution_state_name(record->state);
     if (record->state == ExecutionState::kSucceeded) response["result"] = record->result;
     if (record->state == ExecutionState::kFailed) response["error"] = record->error;
-    return response;
+    return HttpResponse{200, std::move(response)};
   }
-  return Status::NotFound(method + " " + path + " is not a known route");
+  return error_response(404, "not_found", route + " is not a known route", route);
 }
+
+Result<Json> HpcWaasService::handle(const std::string& method, const std::string& path,
+                                    const Json& body) {
+  HttpResponse response = rest(method, path, body);
+  if (response.ok()) return std::move(response.body);
+  const Json& error = response.body["error"];
+  const std::string message = error.get_string("message");
+  switch (response.status) {
+    case 400: return Status::InvalidArgument(message);
+    case 404: return Status::NotFound(message);
+    case 405: return Status::FailedPrecondition(message);
+    case 409: return Status::FailedPrecondition(message);
+    case 503: return Status::Unavailable(message);
+    default: return Status::Internal(message);
+  }
+}
+
 
 }  // namespace climate::hpcwaas

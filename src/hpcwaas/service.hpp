@@ -39,6 +39,20 @@ enum class ExecutionState { kPending, kRunning, kSucceeded, kFailed };
 
 const char* execution_state_name(ExecutionState state);
 
+/// HTTP-style response of the versioned REST surface: a status code plus a
+/// JSON body. Failures always carry a structured error envelope:
+///
+///   {"error": {"code": "not_found", "message": "...", "detail": "..."}}
+///
+/// where `code` is a stable machine-readable slug, `message` is
+/// human-readable, and `detail` carries route context.
+struct HttpResponse {
+  int status = 200;
+  Json body;
+
+  bool ok() const { return status < 400; }
+};
+
 /// One invocation of a deployed workflow.
 struct ExecutionRecord {
   std::string id;
@@ -89,11 +103,23 @@ class HpcWaasService {
   /// Registered workflows.
   std::vector<WorkflowEntry> workflows() const;
 
-  /// REST-style dispatch:
-  ///   GET  /workflows                      -> list
-  ///   GET  /workflows/<id>                 -> detail
-  ///   POST /workflows/<id>/executions      -> {"execution_id": ...}
-  ///   GET  /executions/<id>                -> {"state": ..., "result": ...}
+  /// Versioned REST dispatch (current version: v1):
+  ///   GET    /v1/workflows                 -> {"workflows": [...]}
+  ///   GET    /v1/workflows/<id>            -> detail
+  ///   DELETE /v1/workflows/<id>            -> undeploy
+  ///   POST   /v1/workflows/<id>/executions -> {"execution_id": ...}
+  ///   GET    /v1/executions/<id>           -> {"state": ..., "result": ...}
+  ///
+  /// Status discipline: unknown path or missing resource -> 404, known path
+  /// with an unsupported method -> 405, malformed input -> 400, transient
+  /// refusal -> 503, anything else -> 500; every failure body is the
+  /// HttpResponse error envelope. Unversioned paths ("/workflows", ...) are
+  /// accepted as legacy aliases of v1; an unknown version prefix is a 404.
+  HttpResponse rest(const std::string& method, const std::string& path, const Json& body);
+
+  /// Deprecated: pre-versioning dispatch; prefer rest(). Forwards to rest()
+  /// and folds the envelope back into a Status, so legacy callers keep
+  /// their Result-based contract.
   Result<Json> handle(const std::string& method, const std::string& path, const Json& body);
 
  private:

@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <thread>
 
+#include "common/bounded_queue.hpp"
 #include "common/grid.hpp"
 #include "common/image.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/striped.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 
@@ -242,6 +245,66 @@ TEST(Image, AsciiMapHasExpectedShape) {
   const std::vector<std::string> rows = split(art, '\n');
   EXPECT_GE(rows.size(), 2u);
   EXPECT_EQ(rows[0].size(), 32u);
+}
+
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> queue(3);
+  EXPECT_EQ(queue.capacity(), 3u);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_FALSE(queue.try_push(4));  // full: rejected, not blocked
+  EXPECT_EQ(queue.size(), 3u);
+  auto a = queue.try_pop();
+  auto b = queue.try_pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_TRUE(queue.try_push(4));  // slot freed
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.try_push(7));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.try_push(8));  // closed: no new items
+  auto drained = queue.pop();
+  ASSERT_TRUE(drained.has_value());  // existing items still drain
+  EXPECT_EQ(*drained, 7);
+  EXPECT_FALSE(queue.pop().has_value());  // closed + empty: nullopt, no block
+}
+
+TEST(BoundedQueue, BlockingPopFeedsConsumerThread) {
+  BoundedQueue<int> queue(2);
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (auto item = queue.pop()) received.push_back(*item);
+  });
+  for (int i = 0; i < 50; ++i) {
+    while (!queue.try_push(i)) std::this_thread::yield();
+  }
+  queue.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(StripedCounter, ExactAtQuiescence) {
+  StripedCounter counter;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) counter.increment();
+      counter.add(5);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.total(), static_cast<std::uint64_t>(kThreads) * (kIncrements + 5));
 }
 
 }  // namespace

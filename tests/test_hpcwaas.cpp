@@ -490,5 +490,90 @@ TEST_F(ServiceTest, UndeployRemovesWorkflow) {
   EXPECT_FALSE(service_->invoke(*id, Json()).ok());
 }
 
+
+TEST_F(ServiceTest, V1RoutesMirrorLegacyAliases) {
+  auto workflow_id = service_->deploy_workflow(core::case_study_topology_yaml(),
+                                               [](const Json&) { return Json::object(); });
+  ASSERT_TRUE(workflow_id.ok()) << workflow_id.status().to_string();
+
+  // Every route is reachable under /v1/ with typed HttpResponse results.
+  auto list = service_->rest("GET", "/v1/workflows", Json());
+  EXPECT_EQ(list.status, 200);
+  ASSERT_EQ(list.body["workflows"].size(), 1u);
+  EXPECT_EQ(list.body["workflows"][0].get_string("id"), *workflow_id);
+
+  auto detail = service_->rest("GET", "/v1/workflows/" + *workflow_id, Json());
+  EXPECT_EQ(detail.status, 200);
+  EXPECT_EQ(detail.body.get_string("id"), *workflow_id);
+
+  auto started = service_->rest("POST", "/v1/workflows/" + *workflow_id + "/executions",
+                                Json::object());
+  ASSERT_EQ(started.status, 201);
+  const std::string exec_id = started.body.get_string("execution_id");
+  ASSERT_FALSE(exec_id.empty());
+  ASSERT_TRUE(service_->wait(exec_id).ok());
+  auto polled = service_->rest("GET", "/v1/executions/" + exec_id, Json());
+  EXPECT_EQ(polled.status, 200);
+  EXPECT_EQ(polled.body.get_string("state"), "succeeded");
+
+  // The unversioned alias serves the same representation as /v1.
+  auto legacy = service_->rest("GET", "/workflows", Json());
+  EXPECT_EQ(legacy.status, 200);
+  ASSERT_EQ(legacy.body["workflows"].size(), 1u);
+  EXPECT_EQ(legacy.body["workflows"][0].get_string("id"), *workflow_id);
+
+  // Undeploy via the versioned surface.
+  auto undeployed = service_->rest("DELETE", "/v1/workflows/" + *workflow_id, Json());
+  EXPECT_EQ(undeployed.status, 200);
+  EXPECT_TRUE(service_->workflows().empty());
+}
+
+TEST_F(ServiceTest, RestDistinguishesFailureClasses) {
+  // Unknown resource -> 404 with the structured envelope.
+  auto missing = service_->rest("GET", "/v1/workflows/wf-99", Json());
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(missing.body["error"].get_string("code"), "not_found");
+  EXPECT_FALSE(missing.body["error"].get_string("message").empty());
+  EXPECT_FALSE(missing.body["error"].get_string("detail").empty());
+
+  // Unknown path -> 404; known path with a wrong method -> 405.
+  EXPECT_EQ(service_->rest("GET", "/v1/nope", Json()).status, 404);
+  auto wrong_method = service_->rest("PUT", "/v1/workflows", Json());
+  EXPECT_EQ(wrong_method.status, 405);
+  EXPECT_EQ(wrong_method.body["error"].get_string("code"), "method_not_allowed");
+  EXPECT_EQ(service_->rest("DELETE", "/v1/executions/exec-1", Json()).status, 405);
+
+  // Unknown API version -> 404 with its own code.
+  auto bad_version = service_->rest("GET", "/v2/workflows", Json());
+  EXPECT_EQ(bad_version.status, 404);
+  EXPECT_EQ(bad_version.body["error"].get_string("code"), "unknown_api_version");
+
+  // Malformed input (missing required workflow input) -> 400.
+  const std::string topology = R"(
+name: strict
+topology_template:
+  inputs:
+    dataset:
+      type: string
+      required: true
+  node_templates:
+    cluster:
+      type: eflows.nodes.Compute
+    wf:
+      type: eflows.nodes.Workflow
+      requirements:
+        - host: cluster
+)";
+  auto id = service_->deploy_workflow(topology, [](const Json&) { return Json(); });
+  ASSERT_TRUE(id.ok());
+  auto rejected = service_->rest("POST", "/v1/workflows/" + *id + "/executions", Json::object());
+  EXPECT_EQ(rejected.status, 400);
+  EXPECT_EQ(rejected.body["error"].get_string("code"), "invalid_argument");
+
+  // The legacy wrapper folds envelopes back into Status codes.
+  EXPECT_FALSE(service_->handle("GET", "/v1/workflows/wf-99", Json()).ok());
+  EXPECT_FALSE(service_->handle("PUT", "/v1/workflows", Json()).ok());
+}
+
 }  // namespace
 }  // namespace climate::hpcwaas
