@@ -68,6 +68,8 @@ if [[ "${SANITIZER}" == "thread" && -z "${FILTER}" ]]; then
   echo "== TSan gate: re-running the concurrency suites explicitly"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure \
     -R '^(test_obs|test_taskrt|test_datacube|test_common)$'
+  echo "== TSan chaos gate: fault injection + node-failure recovery under TSan"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -L chaos
 fi
 
 if [[ "${SANITIZER}" == "address" && -z "${FILTER}" ]]; then

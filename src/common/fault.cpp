@@ -1,0 +1,218 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace climate::common::fault {
+
+namespace {
+
+constexpr const char* kLogTag = "fault";
+
+/// SplitMix64 finalizer: the avalanche stage used for all decision hashing.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Uniform [0,1) from a hash — the Bernoulli draw of rate rules.
+double to_unit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+bool target_matches(const std::string& pattern, std::string_view target) {
+  if (pattern.empty()) return true;
+  if (pattern.back() == '*') {
+    const std::string_view prefix(pattern.data(), pattern.size() - 1);
+    return target.substr(0, prefix.size()) == prefix;
+  }
+  return pattern == target;
+}
+
+}  // namespace
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kTaskError: return "task_error";
+    case Kind::kNodeCrash: return "node_crash";
+    case Kind::kNodeSlowdown: return "node_slowdown";
+    case Kind::kFragmentError: return "fragment_error";
+    case Kind::kFragmentDelay: return "fragment_delay";
+    case Kind::kDlsError: return "dls_error";
+    case Kind::kStepError: return "step_error";
+  }
+  return "?";
+}
+
+Result<Kind> parse_kind(const std::string& name) {
+  for (Kind kind : {Kind::kTaskError, Kind::kNodeCrash, Kind::kNodeSlowdown, Kind::kFragmentError,
+                    Kind::kFragmentDelay, Kind::kDlsError, Kind::kStepError}) {
+    if (name == kind_name(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown fault kind '" + name + "'");
+}
+
+Result<Plan> Plan::from_json(const Json& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("fault plan must be a JSON object");
+  Plan plan;
+  plan.seed = static_cast<std::uint64_t>(doc.get_int("seed", 0));
+  if (doc.contains("rules")) {
+    const Json& rules = doc["rules"];
+    if (!rules.is_array()) return Status::InvalidArgument("fault plan 'rules' must be an array");
+    for (const Json& entry : rules.as_array()) {
+      if (!entry.is_object()) return Status::InvalidArgument("fault rule must be an object");
+      Rule rule;
+      auto kind = parse_kind(entry.get_string("kind"));
+      if (!kind.ok()) return kind.status();
+      rule.kind = *kind;
+      rule.target = entry.get_string("target");
+      rule.rate = entry.get_number("rate", 0.0);
+      rule.at = entry.get_int("at", -1);
+      rule.max_injections = static_cast<int>(entry.get_int("max", -1));
+      rule.delay_ms = entry.get_number("delay_ms", 0.0);
+      if (rule.rate < 0.0 || rule.rate > 1.0) {
+        return Status::InvalidArgument("fault rule rate must be in [0,1]");
+      }
+      if (rule.rate == 0.0 && rule.at < 0) {
+        return Status::InvalidArgument("fault rule needs 'rate' > 0 or 'at' >= 0");
+      }
+      plan.rules.push_back(std::move(rule));
+    }
+  }
+  return plan;
+}
+
+Result<Plan> Plan::parse(const std::string& text) {
+  auto doc = Json::parse(text);
+  if (!doc.ok()) return doc.status();
+  return from_json(*doc);
+}
+
+Json Plan::to_json() const {
+  Json doc = Json::object();
+  doc["seed"] = static_cast<std::int64_t>(seed);
+  Json rules = Json::array();
+  for (const Rule& rule : this->rules) {
+    Json entry = Json::object();
+    entry["kind"] = kind_name(rule.kind);
+    if (!rule.target.empty()) entry["target"] = rule.target;
+    if (rule.rate > 0.0) entry["rate"] = rule.rate;
+    if (rule.at >= 0) entry["at"] = rule.at;
+    if (rule.max_injections >= 0) entry["max"] = rule.max_injections;
+    if (rule.delay_ms > 0.0) entry["delay_ms"] = rule.delay_ms;
+    rules.as_array().push_back(std::move(entry));
+  }
+  doc["rules"] = std::move(rules);
+  return doc;
+}
+
+std::string Event::to_string() const {
+  std::ostringstream out;
+  out << kind_name(kind) << " rule=" << rule << " target=" << target << " key=" << key;
+  return out.str();
+}
+
+Injector::Injector(Plan plan) : plan_(std::move(plan)), counts_(plan_.rules.size(), 0) {}
+
+std::optional<Action> Injector::fire(Kind kind, std::string_view target, std::int64_t key) {
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const Rule& rule = plan_.rules[i];
+    if (rule.kind != kind || !target_matches(rule.target, target)) continue;
+
+    bool decided = false;
+    if (rule.at >= 0) {
+      decided = key == rule.at;
+    } else {
+      // Pure hash of (seed, rule, target, key): interleaving-independent.
+      std::uint64_t h = mix(plan_.seed ^ mix(static_cast<std::uint64_t>(i) + 1));
+      h = mix(h ^ fnv1a(target));
+      h = mix(h ^ static_cast<std::uint64_t>(key));
+      decided = to_unit(h) < rule.rate;
+    }
+    if (!decided) continue;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (rule.max_injections >= 0 && counts_[i] >= rule.max_injections) continue;
+      ++counts_[i];
+      Event event;
+      event.kind = kind;
+      event.rule = i;
+      event.target = std::string(target);
+      event.key = key;
+      event.delay_ms = rule.delay_ms;
+      events_.push_back(std::move(event));
+    }
+    Action action;
+    action.rule = i;
+    action.delay_ms = rule.delay_ms;
+    return action;
+  }
+  return std::nullopt;
+}
+
+std::vector<Event> Injector::events() const {
+  std::vector<Event> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = events_;
+  }
+  std::sort(snapshot.begin(), snapshot.end(), [](const Event& a, const Event& b) {
+    if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    if (a.rule != b.rule) return a.rule < b.rule;
+    if (a.target != b.target) return a.target < b.target;
+    return a.key < b.key;
+  });
+  return snapshot;
+}
+
+std::vector<std::string> Injector::event_log() const {
+  std::vector<std::string> lines;
+  for (const Event& event : events()) lines.push_back(event.to_string());
+  return lines;
+}
+
+std::uint64_t Injector::injected_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::shared_ptr<Injector> Injector::from_env(const char* variable) {
+  const char* raw = std::getenv(variable);
+  if (raw == nullptr || raw[0] == '\0') return nullptr;
+  std::string text(raw);
+  if (text[0] == '@') {
+    std::ifstream in(text.substr(1));
+    if (!in) {
+      LOG_WARN(kLogTag) << "cannot open fault plan file '" << text.substr(1) << "'";
+      return nullptr;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  auto plan = Plan::parse(text);
+  if (!plan.ok()) {
+    LOG_WARN(kLogTag) << "ignoring invalid " << variable << " plan: " << plan.status().to_string();
+    return nullptr;
+  }
+  LOG_INFO(kLogTag) << "fault plan armed from " << variable << " (seed " << plan->seed << ", "
+                    << plan->rules.size() << " rules)";
+  return std::make_shared<Injector>(std::move(*plan));
+}
+
+}  // namespace climate::common::fault

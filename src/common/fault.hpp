@@ -1,0 +1,141 @@
+// Seeded, deterministic fault injection (the chaos layer).
+//
+// A FaultPlan is a seed plus a list of rules describing which events to
+// inject where: task-body exceptions, node crashes and slowdowns in the
+// task runtime, fragment-operator errors and latency spikes in the datacube
+// server, transfer failures in the Data Logistics Service and deployment
+// step failures in the HPCWaaS orchestrator. Each layer asks its injector
+// at well-defined decision points ("should fault X fire for target T at
+// index K?").
+//
+// Determinism contract: a decision is a pure function of
+// (plan seed, rule index, target string, caller-supplied key) — never of
+// wall-clock time or a shared sequential RNG — so thread interleaving
+// cannot change the set of injected faults. Two runs with the same seed and
+// plan produce the same injection log (compare Injector::event_log(), which
+// is canonically sorted). Rules with `max_injections` additionally cap the
+// total count under a mutex; on layers that decide concurrently the capped
+// *subset* may vary between runs, so deterministic plans should combine
+// `max_injections` only with serial decision streams (DLS / orchestrator
+// steps) or with `at` matches.
+//
+// This header lives in `common` and therefore cannot use the obs layer
+// (scripts/check_invariants.py layering); call sites in taskrt/datacube/
+// hpcwaas emit the `fault.injected.<layer>.<kind>` counters when an
+// injection fires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+
+namespace climate::common::fault {
+
+/// What to inject. Layer ownership: kTaskError/kNodeCrash/kNodeSlowdown are
+/// consumed by taskrt, kFragmentError/kFragmentDelay by the datacube server,
+/// kDlsError by the Data Logistics Service, kStepError by the orchestrator.
+enum class Kind {
+  kTaskError,      ///< Task body throws before running (taskrt).
+  kNodeCrash,      ///< Node stops draining; in-flight work + local data lost.
+  kNodeSlowdown,   ///< Extra latency before a task body (taskrt).
+  kFragmentError,  ///< Datacube operator rejected with UNAVAILABLE.
+  kFragmentDelay,  ///< Latency spike on a fragment access (datacube).
+  kDlsError,       ///< DLS data-movement step fails with UNAVAILABLE.
+  kStepError,      ///< HPCWaaS deployment step fails with UNAVAILABLE.
+};
+
+const char* kind_name(Kind kind);
+Result<Kind> parse_kind(const std::string& name);
+
+/// One injection rule. `target` selects victims by name ("" matches
+/// everything, a trailing '*' matches by prefix). Probabilistic rules use
+/// `rate`; scheduled rules use `at` (fire exactly when the decision key
+/// equals `at`). `max_injections` caps the rule's total firings (-1 =
+/// unbounded); `delay_ms` parameterizes the slowdown/latency kinds.
+struct Rule {
+  Kind kind = Kind::kTaskError;
+  std::string target;
+  double rate = 0.0;
+  std::int64_t at = -1;
+  int max_injections = -1;
+  double delay_ms = 0.0;
+};
+
+/// A seeded fault schedule, parseable from JSON:
+///
+///   {"seed": 42, "rules": [
+///     {"kind": "task_error", "rate": 0.05},
+///     {"kind": "node_crash", "target": "node1", "at": 3},
+///     {"kind": "dls_error", "rate": 1.0, "max": 2},
+///     {"kind": "fragment_delay", "rate": 0.1, "delay_ms": 2}]}
+struct Plan {
+  std::uint64_t seed = 0;
+  std::vector<Rule> rules;
+
+  bool empty() const { return rules.empty(); }
+  static Result<Plan> from_json(const Json& doc);
+  static Result<Plan> parse(const std::string& text);
+  Json to_json() const;
+};
+
+/// One recorded injection.
+struct Event {
+  Kind kind = Kind::kTaskError;
+  std::size_t rule = 0;     ///< Index into Plan::rules.
+  std::string target;       ///< Victim name at the decision point.
+  std::int64_t key = 0;     ///< Caller-supplied decision key.
+  double delay_ms = 0.0;    ///< For slowdown/latency kinds.
+
+  /// Canonical one-line rendering (replay comparisons sort these).
+  std::string to_string() const;
+};
+
+/// Parameters of a fired injection handed back to the layer.
+struct Action {
+  std::size_t rule = 0;
+  double delay_ms = 0.0;
+};
+
+/// Thread-safe decision engine over one Plan. Decisions are deterministic
+/// (see file comment); the event log records every firing.
+class Injector {
+ public:
+  explicit Injector(Plan plan);
+
+  const Plan& plan() const { return plan_; }
+
+  /// Decides whether a fault of `kind` fires for `target` at decision index
+  /// `key`. Returns the action of the first matching rule that fires, and
+  /// records it in the event log.
+  std::optional<Action> fire(Kind kind, std::string_view target, std::int64_t key);
+
+  /// Every injection so far, in canonical (kind, rule, target, key) order —
+  /// independent of the thread interleaving that produced it.
+  std::vector<Event> events() const;
+
+  /// events() rendered to_string(), for replay-determinism comparisons.
+  std::vector<std::string> event_log() const;
+
+  std::uint64_t injected_count() const;
+
+  /// Builds an injector from the CLIMATE_FAULTS environment variable: inline
+  /// JSON, or "@/path/to/plan.json". Returns nullptr when unset/empty;
+  /// invalid plans are reported via the returned status message of parse()
+  /// in the log and also yield nullptr.
+  static std::shared_ptr<Injector> from_env(const char* variable = "CLIMATE_FAULTS");
+
+ private:
+  Plan plan_;
+  mutable std::mutex mutex_;
+  std::vector<int> counts_;    // firings per rule (max_injections caps)
+  std::vector<Event> events_;  // append-only injection log
+};
+
+}  // namespace climate::common::fault

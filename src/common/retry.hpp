@@ -1,0 +1,195 @@
+// Shared retry discipline for the service layers: exponential backoff with
+// decorrelated jitter, a total sleep budget, and a small circuit breaker so
+// callers of a dead service fail fast instead of retry-storming it.
+//
+// Used by the datacube Client (UNAVAILABLE admission rejections / injected
+// fragment faults) and the HPCWaaS orchestrator (deployment + DLS steps).
+// The jitter stream is seeded (RetryOptions::jitter_seed), so retry timing
+// is reproducible for a fixed seed.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace climate::common {
+
+struct RetryOptions {
+  /// Total tries including the first one; 1 disables retrying.
+  int max_attempts = 4;
+  double base_delay_ms = 0.5;
+  double max_delay_ms = 50.0;
+  /// Total sleep budget across all backoffs of one call.
+  double budget_ms = 250.0;
+  /// Seed of the jitter stream (deterministic backoff schedule).
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Outcome bookkeeping a caller can surface in reports.
+struct RetryStats {
+  int attempts = 0;
+  double slept_ms = 0.0;
+  bool exhausted = false;  ///< Gave up while the error was still retryable.
+};
+
+/// Backoff schedule: "decorrelated jitter" — each delay is uniform in
+/// [base, 3 * previous], capped by max_delay_ms and the remaining budget.
+class Backoff {
+ public:
+  explicit Backoff(const RetryOptions& options)
+      : options_(options),
+        rng_(options.jitter_seed ^ 0x5bf03635d0d8b5bdull),
+        previous_ms_(options.base_delay_ms) {}
+
+  /// Delay before the next retry, or nullopt once attempts or the sleep
+  /// budget are exhausted.
+  std::optional<double> next_delay_ms() {
+    if (attempts_ + 1 >= options_.max_attempts) return std::nullopt;
+    ++attempts_;
+    double delay = rng_.uniform(options_.base_delay_ms,
+                                std::max(options_.base_delay_ms, previous_ms_ * 3.0));
+    delay = std::min(delay, options_.max_delay_ms);
+    if (slept_ms_ + delay > options_.budget_ms) return std::nullopt;
+    slept_ms_ += delay;
+    previous_ms_ = delay;
+    return delay;
+  }
+
+  double slept_ms() const { return slept_ms_; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  double previous_ms_;
+  int attempts_ = 0;
+  double slept_ms_ = 0.0;
+};
+
+/// The default retryability predicate: transient service conditions.
+inline bool transient_status(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+inline const Status& status_of(const Status& status) { return status; }
+template <typename T>
+const Status& status_of(const Result<T>& result) {
+  return result.status();
+}
+
+/// Runs `fn` (returning Status or Result<T>) with retries on transient
+/// failures. Returns the last outcome; `stats` (optional) records attempts
+/// and sleep time.
+template <typename Fn, typename Retryable>
+auto retry_call(Fn&& fn, const RetryOptions& options, Retryable&& retryable,
+                RetryStats* stats = nullptr) -> decltype(fn()) {
+  Backoff backoff(options);
+  int attempts = 0;
+  for (;;) {
+    auto outcome = fn();
+    ++attempts;
+    const Status& status = status_of(outcome);
+    if (status.ok() || !retryable(status)) {
+      if (stats != nullptr) {
+        stats->attempts = attempts;
+        stats->slept_ms = backoff.slept_ms();
+        stats->exhausted = false;
+      }
+      return outcome;
+    }
+    const std::optional<double> delay = backoff.next_delay_ms();
+    if (!delay.has_value()) {
+      if (stats != nullptr) {
+        stats->attempts = attempts;
+        stats->slept_ms = backoff.slept_ms();
+        stats->exhausted = true;
+      }
+      return outcome;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(*delay * 1e6)));
+  }
+}
+
+template <typename Fn>
+auto retry_call(Fn&& fn, const RetryOptions& options, RetryStats* stats = nullptr)
+    -> decltype(fn()) {
+  return retry_call(std::forward<Fn>(fn), options, transient_status, stats);
+}
+
+/// A minimal circuit breaker: after `failure_threshold` consecutive
+/// failures the circuit opens and calls are rejected without touching the
+/// service; after `open_ms` it half-opens and lets `half_open_probes`
+/// probes through — one success closes it, one failure re-opens it.
+class CircuitBreaker {
+ public:
+  struct Options {
+    int failure_threshold = 5;
+    double open_ms = 100.0;
+    int half_open_probes = 1;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker() : options_(Options{}) {}
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  /// Whether a call may proceed now (false = fail fast with UNAVAILABLE).
+  bool allow() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen: {
+        const auto elapsed = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - opened_at_);
+        if (elapsed.count() < options_.open_ms) return false;
+        state_ = State::kHalfOpen;
+        probes_ = 0;
+        [[fallthrough]];
+      }
+      case State::kHalfOpen:
+        if (probes_ >= options_.half_open_probes) return false;
+        ++probes_;
+        return true;
+    }
+    return true;
+  }
+
+  void record(const Status& status) { status.ok() ? record_success() : record_failure(); }
+
+  void record_success() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failures_ = 0;
+    state_ = State::kClosed;
+  }
+
+  void record_failure() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failures_;
+    if (state_ == State::kHalfOpen || failures_ >= options_.failure_threshold) {
+      state_ = State::kOpen;
+      opened_at_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int failures_ = 0;  // consecutive
+  int probes_ = 0;    // in the current half-open window
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
+}  // namespace climate::common

@@ -320,6 +320,12 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
   std::atomic<std::uint64_t> bytes_written{0};
   std::atomic<std::uint64_t> files_read{0};
 
+  // One chaos plan for every layer: the config's injector, or CLIMATE_FAULTS
+  // from the environment when the config leaves it null.
+  std::shared_ptr<common::fault::Injector> faults = cfg.faults;
+  if (!faults) faults = common::fault::Injector::from_env();
+  if (faults) dc_server.set_fault_injector(faults);
+
   // Pre-trained CNN (section 5.4): loaded once, shared read-only by the
   // inference tasks.
   std::shared_ptr<ml::TcLocalizer> localizer;
@@ -345,6 +351,8 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
   rt_options.checkpoint_dir = cfg.checkpoint_dir;
   rt_options.container_startup_ms = cfg.container_startup_ms;
   rt_options.verify = cfg.verify;
+  rt_options.faults = faults;
+  rt_options.speculation = cfg.speculation;
   if (cfg.heterogeneous) {
     // Future-work deployment: dedicated node classes per requirement kind
     // ("large HPC systems for the ESM simulation, data-oriented ... systems
@@ -367,18 +375,38 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Chaos-run failure policy: with task_retries set, injected (or genuine)
+  // task-body faults retry instead of aborting the workflow. An injector
+  // armed without an explicit budget (the CLIMATE_FAULTS quick-start) gets a
+  // default budget — a chaos demo that aborts on the first fault shows
+  // nothing.
+  const int task_retries = cfg.task_retries > 0 ? cfg.task_retries : (faults ? 3 : 0);
+  auto resilient = [&](TaskOptions options) {
+    if (task_retries > 0) {
+      options.on_failure = taskrt::FailurePolicy::kRetry;
+      options.max_retries = task_retries;
+    }
+    return options;
+  };
+  // Marks a task family whose outputs land on reliable storage (daily files
+  // on disk, cubes inside the datacube service): a node crash never loses
+  // them, so recovery skips these tasks entirely.
+  auto durable = [](TaskOptions options) {
+    options.durable_outputs = true;
+    return options;
+  };
   auto task_options = [&](const std::string& key, taskrt::OutputCodec codec) {
     TaskOptions options;
     if (!cfg.checkpoint_dir.empty()) {
       options.checkpoint_key = key;
       options.codec = std::move(codec);
     }
-    return options;
+    return resilient(std::move(options));
   };
   // Attaches the node-class constraint of a task family (heterogeneous mode).
   auto constrain = [&](TaskOptions options, const char* tag) {
     if (cfg.heterogeneous) options.constraints.insert(tag);
-    return options;
+    return resilient(std::move(options));
   };
   const double extra_ms = cfg.extra_task_cost_ms;
   auto burn = [extra_ms](const TaskContext& ctx) {
@@ -393,7 +421,8 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     const std::string forcing_path = cfg.output_dir + "/forcing.nc";
     const esm::EsmConfig esm_cfg = cfg.esm;
     const int years = cfg.years;
-    rt.submit("load_forcing", {Out(forcing_h)}, [forcing_path, esm_cfg, years](TaskContext& ctx) {
+    rt.submit("load_forcing", resilient(TaskOptions{}), {Out(forcing_h)},
+              [forcing_path, esm_cfg, years](TaskContext& ctx) {
       // Write then read back: concentrations are "provided year by year
       // through I/O" (section 4.2.3).
       esm::ForcingTable table =
@@ -411,7 +440,7 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
   {
     const esm::EsmConfig esm_cfg = cfg.esm;
     auto submit_baseline = [&](const char* name, DataHandle handle, bool warm) {
-      rt.submit(name, task_options(std::string(name), cube_codec(&dc_server)),
+      rt.submit(name, durable(task_options(std::string(name), cube_codec(&dc_server))),
                 {Out(handle)}, [&dc_server, esm_cfg, warm, name](TaskContext& ctx) {
                   const common::LatLonGrid g(esm_cfg.nlat, esm_cfg.nlon);
                   // 20-year reference period climatology (analytic — the
@@ -443,7 +472,7 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     const std::string dir = daily_dir;
     const bool diagnostics = cfg.online_diagnostics;
     const std::string diag_dir = diagnostics_dir;
-    rt.submit("esm_simulation", constrain(TaskOptions{}, "hpc"),
+    rt.submit("esm_simulation", constrain(durable(TaskOptions{}), "hpc"),
               {In(forcing_h), InOut(model_h)},
               [esm_cfg, dir, year, diagnostics, diag_dir, &bytes_written](TaskContext& ctx) {
                 const auto& forcing = ctx.in_as<esm::ForcingTable>(0);
@@ -501,16 +530,16 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     // #4: the streaming year-detection task.
     DataHandle files_raw = rt.create_data(std::any(files), files.size() * 64);
     DataHandle files_h = rt.create_data();
-    rt.submit("year_ready", {In(files_raw), Out(files_h)}, [](TaskContext& ctx) {
-      ctx.set_out(1, ctx.in(0));
-    });
+    rt.submit("year_ready", resilient(TaskOptions{}), {In(files_raw), Out(files_h)},
+              [](TaskContext& ctx) { ctx.set_out(1, ctx.in(0)); });
 
     // #5/#6: load the year's tasmax/tasmin into cubes.
     DataHandle tmax_h = rt.create_data();
     DataHandle tmin_h = rt.create_data();
     auto submit_load = [&](const char* name, DataHandle out_h, const char* variable) {
       rt.submit(name,
-                constrain(task_options(std::string(name) + "@" + ytag, cube_codec(&dc_server)),
+                constrain(durable(task_options(std::string(name) + "@" + ytag,
+                                                cube_codec(&dc_server))),
                           "data"),
                 {In(files_h), Out(out_h)},
                 [&dc_server, &files_read, variable, cells, grid, days, burn,
@@ -538,7 +567,8 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     auto submit_duration = [&](const char* name, DataHandle temp_h, DataHandle baseline_h,
                                DataHandle out_h, bool warm) {
       rt.submit(name,
-                constrain(task_options(std::string(name) + "@" + ytag, cube_codec(&dc_server)),
+                constrain(durable(task_options(std::string(name) + "@" + ytag,
+                                                cube_codec(&dc_server))),
                           "data"),
                 {In(temp_h), In(baseline_h), Out(out_h)},
                 [&dc_server, warm, burn](TaskContext& ctx) {
@@ -580,7 +610,9 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     auto submit_index = [&](const char* name, DataHandle duration_h, DataHandle out_h,
                             IndexKind kind, const std::string& filename) {
       rt.submit(
-          name, constrain(task_options(std::string(name) + "@" + ytag, field_codec()), "data"),
+          name,
+          constrain(durable(task_options(std::string(name) + "@" + ytag, field_codec())),
+                    "data"),
           {In(duration_h), Out(out_h)},
           [&dc_server, kind, filename, indices_dir, grid, days, burn](TaskContext& ctx) {
             burn(ctx);
@@ -775,15 +807,16 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
                   ctx.set_out(1, std::any(tracks), tracks.size() * 256);
                 });
     } else {
-      rt.submit("tc_deterministic_tracking", {Out(handles.tracks)}, [](TaskContext& ctx) {
-        ctx.set_out(0, std::any(std::vector<extremes::TcTrack>{}));
-      });
+      rt.submit("tc_deterministic_tracking", resilient(TaskOptions{}), {Out(handles.tracks)},
+                [](TaskContext& ctx) {
+                  ctx.set_out(0, std::any(std::vector<extremes::TcTrack>{}));
+                });
     }
 
     // Step 5: validation + storage summary for the year (also frees the
     // duration cubes once every index task consumed them).
     handles.validation = rt.create_data();
-    rt.submit("validate_store", constrain(TaskOptions{}, "data"),
+    rt.submit("validate_store", constrain(durable(TaskOptions{}), "data"),
               {In(handles.heat_max), In(handles.heat_count), In(handles.heat_freq),
                In(handles.cold_max), In(handles.cold_count), In(handles.cold_freq),
                In(handles.ml_fixes), In(handles.tracks), In(heat_dur_h), In(cold_dur_h),
@@ -837,7 +870,7 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     {
       const std::string map_path =
           maps_dir + "/heat_wave_number_" + ytag + ".pgm";
-      rt.submit("render_year_map", constrain(TaskOptions{}, "data"),
+      rt.submit("render_year_map", constrain(durable(TaskOptions{}), "data"),
                 {In(handles.heat_count), Out(handles.year_map)},
                 [map_path](TaskContext& ctx) {
                   const auto& count = ctx.in_as<common::Field>(0);
@@ -904,7 +937,8 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
     DataHandle mean_h = rt.create_data(std::any(mean_count), mean_count.size() * sizeof(float));
     DataHandle final_map_h = rt.create_data();
     const std::string final_path = maps_dir + "/heat_wave_number_mean.pgm";
-    rt.submit("final_maps", {In(mean_h), Out(final_map_h)}, [final_path](TaskContext& ctx) {
+    rt.submit("final_maps", resilient(durable(TaskOptions{})), {In(mean_h), Out(final_map_h)},
+              [final_path](TaskContext& ctx) {
       const auto& mean = ctx.in_as<common::Field>(0);
       const Status st = common::write_pgm(final_path, mean, 0.0f, std::max(1.0f, mean.max()));
       if (!st.ok()) throw std::runtime_error(st.to_string());
@@ -963,6 +997,27 @@ Result<WorkflowResults> ExtremeEventsWorkflow::run() {
   results.datacube_stats = dc_server.stats();
   results.bytes_written = bytes_written.load();
   results.verify_report = rt.verify_report();
+  results.recovery = rt.recovery();
+  if (results.recovery.any()) {
+    const taskrt::RecoveryReport& rec = results.recovery;
+    Json recovery = Json::object();
+    recovery["faults_injected"] = static_cast<double>(rec.faults_injected);
+    recovery["node_failures"] = static_cast<double>(rec.node_failures);
+    recovery["tasks_rescheduled"] = static_cast<double>(rec.tasks_rescheduled);
+    recovery["tasks_replayed"] = static_cast<double>(rec.tasks_replayed);
+    recovery["checkpoint_restores"] = static_cast<double>(rec.checkpoint_restores);
+    recovery["data_versions_lost"] = static_cast<double>(rec.data_versions_lost);
+    recovery["data_versions_rematerialized"] =
+        static_cast<double>(rec.data_versions_rematerialized);
+    recovery["deadline_failures"] = static_cast<double>(rec.deadline_failures);
+    recovery["speculative_backups"] = static_cast<double>(rec.speculative_backups);
+    recovery["speculative_wins"] = static_cast<double>(rec.speculative_wins);
+    recovery["recovery_exec_ms"] = static_cast<double>(rec.recovery_exec_ns) / 1e6;
+    results.summary["recovery"] = std::move(recovery);
+    LOG_INFO(kLogTag) << "chaos run: " << rec.faults_injected << " faults injected, "
+                      << rec.node_failures << " node failures, " << rec.tasks_replayed
+                      << " tasks replayed, " << rec.tasks_rescheduled << " rescheduled";
+  }
   if (rt.verify_enabled()) {
     results.summary["verify_errors"] = results.verify_report.count(taskrt::verify::Severity::kError);
     results.summary["verify_warnings"] =

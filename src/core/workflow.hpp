@@ -83,6 +83,25 @@ struct WorkflowConfig {
   /// follows the CLIMATE_VERIFY environment variable; findings land in
   /// WorkflowResults::verify_report without changing execution.
   taskrt::VerifyMode verify = taskrt::VerifyMode::kAuto;
+
+  /// Chaos plan shared by every layer of the run: the same injector is armed
+  /// on the task runtime (task errors, node crashes/slowdowns), the datacube
+  /// server (fragment-operation faults) and the DLS (transfer faults). Null
+  /// (default) runs fault-free; see common/fault.hpp and the README's chaos
+  /// quick-start. Construction also honours CLIMATE_FAULTS when this is null
+  /// (see common::fault::Injector::from_env).
+  std::shared_ptr<common::fault::Injector> faults;
+
+  /// Failure policy applied to the analysis task families for chaos runs:
+  /// with retries > 0, task-body faults are retried (FailurePolicy::kRetry)
+  /// up to this many times instead of aborting the workflow. When a fault
+  /// injector is armed (here or via CLIMATE_FAULTS) and this is 0, a default
+  /// budget of 3 is used.
+  int task_retries = 0;
+
+  /// Straggler mitigation: speculative backup copies for tasks running far
+  /// beyond their function's trailing mean (see RuntimeOptions::speculation).
+  bool speculation = false;
 };
 
 /// Per-year outputs.
@@ -110,6 +129,7 @@ struct WorkflowResults {
   std::string final_map_file;
   Json summary;                           ///< validate_store aggregation.
   taskrt::verify::Report verify_report;   ///< Verifier findings (empty when off).
+  taskrt::RecoveryReport recovery;        ///< Faults seen + recovery work done.
 
   /// Attribution profile of the executed task graph (critical path, per-task
   /// wait/transfer/exec breakdown, node utilization). Recomputed from `trace`

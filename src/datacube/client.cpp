@@ -1,5 +1,7 @@
 #include "datacube/client.hpp"
 
+#include "obs/obs.hpp"
+
 namespace climate::datacube {
 
 namespace {
@@ -8,13 +10,39 @@ namespace {
 /// snapshot for the handle. The snapshot lookup is best-effort: the cube was
 /// just registered, so a miss only happens if another session deleted it in
 /// the meantime, and then the handle still carries the PID.
-Result<Cube> wrap(Server* server, const std::string& session, Result<std::string> pid) {
+Result<Cube> wrap(Server* server, const std::string& session,
+                  const std::shared_ptr<ClientRetryState>& retry, Result<std::string> pid) {
   if (!pid.ok()) return pid.status();
   CubeHandle handle;
   handle.pid = std::move(*pid);
   auto schema = server->cubeschema(handle.pid);
   if (schema.ok()) handle.schema = std::move(*schema);
-  return Cube(server, std::move(handle), session);
+  return Cube(server, std::move(handle), session, retry);
+}
+
+/// Runs one server operation under the shared retry discipline: the circuit
+/// breaker fails fast when the service looks down, transient failures
+/// (UNAVAILABLE admission rejections, injected fragment faults) are retried
+/// with decorrelated-jitter backoff, and outcomes feed the breaker.
+template <typename Fn>
+auto with_retry(const std::shared_ptr<ClientRetryState>& retry, Fn&& fn) -> decltype(fn()) {
+  if (!retry) return fn();  // deprecated raw-PID cubes: bare single attempt
+  retry->calls.fetch_add(1, std::memory_order_relaxed);
+  if (!retry->breaker.allow()) {
+    retry->breaker_rejections.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNTER_ADD("datacube.client.breaker_rejections", 1);
+    return common::Status::Unavailable("datacube client circuit breaker open (failing fast)");
+  }
+  common::RetryStats stats;
+  auto outcome = common::retry_call(fn, retry->options, common::transient_status, &stats);
+  if (stats.attempts > 1) {
+    retry->retries.fetch_add(static_cast<std::uint64_t>(stats.attempts - 1),
+                             std::memory_order_relaxed);
+    OBS_COUNTER_ADD("datacube.client.retries", stats.attempts - 1);
+  }
+  if (stats.exhausted) retry->exhausted.fetch_add(1, std::memory_order_relaxed);
+  retry->breaker.record(common::status_of(outcome));
+  return outcome;
 }
 
 }  // namespace
@@ -25,13 +53,17 @@ Result<Cube> Cube::reduce(const std::string& op, std::size_t group,
   auto parsed = parse_reduce_op(op);
   if (!parsed.ok()) return parsed.status();
   Server::SessionScope scope(session_);
-  return wrap(server_, session_, server_->reduce(pid(), *parsed, group, description));
+  return wrap(server_, session_, retry_, with_retry(retry_, [&] {
+                return server_->reduce(pid(), *parsed, group, description);
+              }));
 }
 
 Result<Cube> Cube::apply(const std::string& expression, const std::string& description) const {
   if (!valid()) return Status::FailedPrecondition("apply on invalid cube");
   Server::SessionScope scope(session_);
-  return wrap(server_, session_, server_->apply(pid(), expression, description));
+  return wrap(server_, session_, retry_, with_retry(retry_, [&] {
+                return server_->apply(pid(), expression, description);
+              }));
 }
 
 Result<Cube> Cube::intercube(const Cube& other, const std::string& op,
@@ -40,26 +72,34 @@ Result<Cube> Cube::intercube(const Cube& other, const std::string& op,
   auto parsed = parse_inter_op(op);
   if (!parsed.ok()) return parsed.status();
   Server::SessionScope scope(session_);
-  return wrap(server_, session_, server_->intercube(pid(), other.pid(), *parsed, description));
+  return wrap(server_, session_, retry_, with_retry(retry_, [&] {
+                return server_->intercube(pid(), other.pid(), *parsed, description);
+              }));
 }
 
 Result<Cube> Cube::subset(const std::string& dim, std::size_t start, std::size_t end,
                           const std::string& description) const {
   if (!valid()) return Status::FailedPrecondition("subset on invalid cube");
   Server::SessionScope scope(session_);
-  return wrap(server_, session_, server_->subset(pid(), dim, start, end, description));
+  return wrap(server_, session_, retry_, with_retry(retry_, [&] {
+                return server_->subset(pid(), dim, start, end, description);
+              }));
 }
 
 Result<Cube> Cube::merge(const Cube& other, const std::string& description) const {
   if (!valid() || !other.valid()) return Status::FailedPrecondition("merge on invalid cube");
   Server::SessionScope scope(session_);
-  return wrap(server_, session_, server_->merge(pid(), other.pid(), description));
+  return wrap(server_, session_, retry_, with_retry(retry_, [&] {
+                return server_->merge(pid(), other.pid(), description);
+              }));
 }
 
 Result<Cube> Cube::concat(const Cube& other, const std::string& description) const {
   if (!valid() || !other.valid()) return Status::FailedPrecondition("concat on invalid cube");
   Server::SessionScope scope(session_);
-  return wrap(server_, session_, server_->concat_implicit(pid(), other.pid(), description));
+  return wrap(server_, session_, retry_, with_retry(retry_, [&] {
+                return server_->concat_implicit(pid(), other.pid(), description);
+              }));
 }
 
 Result<Cube> Cube::aggregate(const std::string& dim, const std::string& op,
@@ -68,7 +108,9 @@ Result<Cube> Cube::aggregate(const std::string& dim, const std::string& op,
   auto parsed = parse_reduce_op(op);
   if (!parsed.ok()) return parsed.status();
   Server::SessionScope scope(session_);
-  return wrap(server_, session_, server_->aggregate(pid(), dim, *parsed, description));
+  return wrap(server_, session_, retry_, with_retry(retry_, [&] {
+                return server_->aggregate(pid(), dim, *parsed, description);
+              }));
 }
 
 Status Cube::exportnc2(const std::string& output_path, const std::string& output_name) const {
@@ -78,7 +120,7 @@ Status Cube::exportnc2(const std::string& output_path, const std::string& output
   path += output_name;
   if (path.size() < 3 || path.substr(path.size() - 3) != ".nc") path += ".nc";
   Server::SessionScope scope(session_);
-  return server_->exportnc(pid(), path);
+  return with_retry(retry_, [&] { return server_->exportnc(pid(), path); });
 }
 
 Result<CubeSchema> Cube::schema() const {
@@ -99,7 +141,9 @@ Status Cube::del() const {
 Result<Cube> Client::importnc(const std::string& path, const std::string& variable,
                               const ImportOptions& options) {
   Server::SessionScope scope(session_);
-  return wrap(server_, session_, server_->importnc(path, variable, options));
+  return wrap(server_, session_, retry_, with_retry(retry_, [&] {
+                return server_->importnc(path, variable, options);
+              }));
 }
 
 Result<Cube> Client::create_cube(std::string measure, std::vector<DimInfo> explicit_dims,
@@ -107,8 +151,8 @@ Result<Cube> Client::create_cube(std::string measure, std::vector<DimInfo> expli
                                  std::string description) {
   Server::SessionScope scope(session_);
   return wrap(server_, session_,
-              server_->create_cube(std::move(measure), std::move(explicit_dims),
-                                   std::move(implicit_dim), dense, std::move(description)));
+              retry_, server_->create_cube(std::move(measure), std::move(explicit_dims),
+                                           std::move(implicit_dim), dense, std::move(description)));
 }
 
 Result<Cube> Client::open(const std::string& pid) const {
@@ -117,7 +161,7 @@ Result<Cube> Client::open(const std::string& pid) const {
   CubeHandle handle;
   handle.pid = pid;
   handle.schema = std::move(*schema);
-  return Cube(server_, std::move(handle), session_);
+  return Cube(server_, std::move(handle), session_, retry_);
 }
 
 Result<std::vector<CubeHandle>> Client::cubes() const {

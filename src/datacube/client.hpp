@@ -21,14 +21,50 @@
 // until exported.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "datacube/server.hpp"
 
 namespace climate::datacube {
 
 class Client;
+
+/// Counter snapshot of a client's retry layer.
+struct ClientRetryStats {
+  std::uint64_t calls = 0;               ///< Operator calls through the retry layer.
+  std::uint64_t retries = 0;             ///< Extra attempts beyond the first.
+  std::uint64_t exhausted = 0;           ///< Calls that gave up still-transient.
+  std::uint64_t breaker_rejections = 0;  ///< Calls failed fast on an open circuit.
+};
+
+/// Retry discipline shared by a Client and every Cube it produces: backoff
+/// options, a circuit breaker, and counters. Thread-safe.
+struct ClientRetryState {
+  explicit ClientRetryState(common::RetryOptions options = {},
+                            common::CircuitBreaker::Options breaker_options = {})
+      : options(options), breaker(breaker_options) {}
+
+  common::RetryOptions options;
+  common::CircuitBreaker breaker;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> exhausted{0};
+  std::atomic<std::uint64_t> breaker_rejections{0};
+
+  ClientRetryStats stats() const {
+    ClientRetryStats snap;
+    snap.calls = calls.load(std::memory_order_relaxed);
+    snap.retries = retries.load(std::memory_order_relaxed);
+    snap.exhausted = exhausted.load(std::memory_order_relaxed);
+    snap.breaker_rejections = breaker_rejections.load(std::memory_order_relaxed);
+    return snap;
+  }
+};
 
 /// Immutable value handle to one server-side datacube: the PID plus the
 /// schema snapshot captured when the handle was produced. Pure data (no
@@ -50,8 +86,12 @@ class Cube {
   /// snapshot; prefer Client::open, which checks the PID and captures the
   /// schema. Kept as a forwarding shim for legacy string-PID call sites.
   Cube(Server* server, std::string pid) : server_(server) { handle_.pid = std::move(pid); }
-  Cube(Server* server, CubeHandle handle, std::string session)
-      : server_(server), handle_(std::move(handle)), session_(std::move(session)) {}
+  Cube(Server* server, CubeHandle handle, std::string session,
+       std::shared_ptr<ClientRetryState> retry = nullptr)
+      : server_(server),
+        handle_(std::move(handle)),
+        session_(std::move(session)),
+        retry_(std::move(retry)) {}
 
   const std::string& pid() const { return handle_.pid; }
   /// The value handle (PID + schema snapshot at creation time).
@@ -108,6 +148,9 @@ class Cube {
   Server* server_ = nullptr;
   CubeHandle handle_;
   std::string session_ = "default";
+  /// Retry/breaker state inherited from the producing Client (null for the
+  /// deprecated raw-PID constructor: ops then run bare, single-attempt).
+  std::shared_ptr<ClientRetryState> retry_;
 };
 
 /// A connection to the framework front-end, bound to a named session.
@@ -117,8 +160,26 @@ class Cube {
 class Client {
  public:
   /// Binds to a running server (in-process deployment of the framework).
+  /// Transient failures (UNAVAILABLE admission rejections, injected
+  /// fragment faults) are retried with backoff by default; see set_retry.
   explicit Client(Server& server, std::string session = "default")
-      : server_(&server), session_(std::move(session)) {}
+      : server_(&server),
+        session_(std::move(session)),
+        retry_(std::make_shared<ClientRetryState>()) {}
+
+  /// Replaces the retry discipline (and resets the circuit breaker) for
+  /// this client and all Cubes produced afterwards. max_attempts = 1
+  /// disables retrying.
+  void set_retry(common::RetryOptions options,
+                 common::CircuitBreaker::Options breaker_options = {}) {
+    retry_ = std::make_shared<ClientRetryState>(options, breaker_options);
+  }
+
+  /// Retry-layer counters (calls, retries, exhaustions, breaker trips).
+  ClientRetryStats retry_stats() const { return retry_->stats(); }
+
+  /// Current circuit-breaker state (open = failing fast).
+  common::CircuitBreaker::State breaker_state() const { return retry_->breaker.state(); }
 
   /// Imports a variable from a CDF-lite file.
   Result<Cube> importnc(const std::string& path, const std::string& variable,
@@ -135,7 +196,9 @@ class Client {
 
   /// Rebinds a handle that crossed a task/thread boundary (no server
   /// round-trip; the handle's snapshot is kept as-is).
-  Cube bind(CubeHandle handle) const { return Cube(server_, std::move(handle), session_); }
+  Cube bind(CubeHandle handle) const {
+    return Cube(server_, std::move(handle), session_, retry_);
+  }
 
   /// Typed catalog listing: a handle (PID + schema) per cube, creation
   /// order.
@@ -154,6 +217,7 @@ class Client {
  private:
   Server* server_;
   std::string session_ = "default";
+  std::shared_ptr<ClientRetryState> retry_;
 };
 
 }  // namespace climate::datacube

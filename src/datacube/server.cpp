@@ -71,6 +71,29 @@ engine::ParallelRunner Server::fragment_runner() {
   };
 }
 
+Result<AdmissionController::Ticket> Server::admit_op(const char* op) {
+  std::shared_ptr<common::fault::Injector> faults;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    faults = faults_;
+  }
+  if (faults) {
+    const std::int64_t key = op_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    if (auto delay = faults->fire(common::fault::Kind::kFragmentDelay, op, key)) {
+      OBS_COUNTER_ADD("fault.injected.datacube.fragment_delay", 1);
+      obs::Span span("fault", "inject:fragment_delay");
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(static_cast<std::int64_t>(delay->delay_ms * 1e6)));
+    }
+    if (faults->fire(common::fault::Kind::kFragmentError, op, key)) {
+      OBS_COUNTER_ADD("fault.injected.datacube.fragment_error", 1);
+      obs::Span span("fault", "inject:fragment_error");
+      return Status::Unavailable(std::string("injected fragment-operation fault in ") + op);
+    }
+  }
+  return admission_.admit(current_session());
+}
+
 std::string Server::register_cube(CubeData cube) {
   std::string pid = catalog_.insert(std::move(cube));
   stats_.cubes_created.increment();
@@ -86,7 +109,7 @@ Result<std::string> Server::importnc(const std::string& path, const std::string&
   OBS_SPAN("datacube", "importnc");
   OBS_SCOPED_LATENCY("datacube.op_ns.importnc");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("importnc");
   if (!ticket.ok()) return ticket.status();
   auto reader = ncio::FileReader::open(path);
   if (!reader.ok()) return reader.status();
@@ -178,7 +201,7 @@ Status Server::exportnc(const std::string& pid, const std::string& path) {
   OBS_SPAN("datacube", "exportnc");
   OBS_SCOPED_LATENCY("datacube.op_ns.exportnc");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("exportnc");
   if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
@@ -238,7 +261,7 @@ Result<std::string> Server::reduce(const std::string& pid, ReduceOp op, std::siz
   OBS_SPAN("datacube", "reduce");
   OBS_SCOPED_LATENCY("datacube.op_ns.reduce");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("reduce");
   if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
@@ -255,7 +278,7 @@ Result<std::string> Server::apply(const std::string& pid, const std::string& exp
   OBS_SPAN("datacube", "apply");
   OBS_SCOPED_LATENCY("datacube.op_ns.apply");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("apply");
   if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
@@ -272,7 +295,7 @@ Result<std::string> Server::intercube(const std::string& pid_a, const std::strin
   OBS_SPAN("datacube", "intercube");
   OBS_SCOPED_LATENCY("datacube.op_ns.intercube");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("intercube");
   if (!ticket.ok()) return ticket.status();
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
@@ -293,7 +316,7 @@ Result<std::string> Server::subset(const std::string& pid, const std::string& di
   OBS_SPAN("datacube", "subset");
   OBS_SCOPED_LATENCY("datacube.op_ns.subset");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("subset");
   if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();
@@ -310,7 +333,7 @@ Result<std::string> Server::merge(const std::string& pid_a, const std::string& p
   OBS_SPAN("datacube", "mergecubes");
   OBS_SCOPED_LATENCY("datacube.op_ns.mergecubes");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("mergecubes");
   if (!ticket.ok()) return ticket.status();
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
@@ -330,7 +353,7 @@ Result<std::string> Server::concat_implicit(const std::string& pid_a, const std:
   OBS_SPAN("datacube", "concat");
   OBS_SCOPED_LATENCY("datacube.op_ns.concat");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("concat");
   if (!ticket.ok()) return ticket.status();
   auto a_result = lookup(pid_a);
   if (!a_result.ok()) return a_result.status();
@@ -350,7 +373,7 @@ Result<std::string> Server::aggregate(const std::string& pid, const std::string&
   OBS_SPAN("datacube", "aggregate");
   OBS_SCOPED_LATENCY("datacube.op_ns.aggregate");
   OBS_COUNTER_ADD("datacube.operators", 1);
-  auto ticket = admission_.admit(current_session());
+  auto ticket = admit_op("aggregate");
   if (!ticket.ok()) return ticket.status();
   auto cube_result = lookup(pid);
   if (!cube_result.ok()) return cube_result.status();

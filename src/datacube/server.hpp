@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/json.hpp"
 #include "common/striped.hpp"
 #include "common/thread_pool.hpp"
@@ -121,6 +122,16 @@ class Server {
   /// Bench E8 uses this for the latency-bound serving regime.
   void set_fragment_latency_ns(std::uint64_t ns) {
     fragment_latency_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  /// Arms chaos injection on the operator path: kFragmentError rules fail
+  /// operators with UNAVAILABLE (transient — the client retry layer absorbs
+  /// them), kFragmentDelay rules add a latency spike. Decision keys are the
+  /// server-wide operator ordinal; targets match operator names. Null
+  /// disarms.
+  void set_fault_injector(std::shared_ptr<common::fault::Injector> faults) {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    faults_ = std::move(faults);
   }
 
   // ----- data ingestion / egress ------------------------------------------
@@ -241,6 +252,10 @@ class Server {
 
   std::string register_cube(CubeData cube);
   Result<std::shared_ptr<const CubeData>> lookup(const std::string& pid) const;
+  /// Shared entry gate of every operator: chaos injection (fragment-op error
+  /// or latency spike) followed by admission. The returned ticket must stay
+  /// alive for the operator's duration.
+  Result<AdmissionController::Ticket> admit_op(const char* op);
   /// Runs `fn(fragment_index)` across the I/O-server pool; the pool is held
   /// via shared_ptr so a concurrent set_io_servers cannot destroy it
   /// mid-run.
@@ -252,6 +267,8 @@ class Server {
   StripedStats stats_;
   AdmissionController admission_;
   std::atomic<std::uint64_t> fragment_latency_ns_{0};
+  std::shared_ptr<common::fault::Injector> faults_;  // guarded by pool_mutex_
+  std::atomic<std::int64_t> op_ordinal_{0};          // fault decision key
 
   mutable std::mutex pool_mutex_;  // guards pool swaps only
   std::shared_ptr<common::ThreadPool> pool_;

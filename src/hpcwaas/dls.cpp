@@ -34,8 +34,21 @@ PipelineReport DataLogisticsService::execute(const DataPipeline& pipeline) {
   OBS_SCOPED_LATENCY("hpcwaas.dls_pipeline_ns");
   PipelineReport report;
   report.pipeline = pipeline.name;
+  const std::int64_t run_key = run_ordinal_++;
+  std::int64_t step_index = -1;
   for (const DataStep& step : pipeline.steps) {
+    ++step_index;
     StepReport sr;
+    if (faults_ && faults_->fire(common::fault::Kind::kDlsError, pipeline.name,
+                                 run_key * 1000 + step_index)) {
+      OBS_COUNTER_ADD("fault.injected.hpcwaas.dls_error", 1);
+      obs::Span fault_span("fault", "inject:dls_error");
+      sr.description = "transfer step " + std::to_string(step_index) + " of " + pipeline.name;
+      sr.status = Status::Unavailable("injected DLS transfer fault in pipeline '" +
+                                      pipeline.name + "' step " + std::to_string(step_index));
+      report.steps.push_back(std::move(sr));
+      break;  // pipelines stop at the first failing step
+    }
     switch (step.kind) {
       case DataStep::Kind::kCopy: {
         sr.description = "copy " + step.source + " -> " + step.destination;

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/status.hpp"
 
 namespace climate::hpcwaas {
@@ -73,8 +75,19 @@ class DataLogisticsService {
 
   std::vector<std::string> pipelines() const;
 
+  /// Arms chaos injection on the transfer path: kDlsError rules fail the
+  /// matching step with UNAVAILABLE before it touches any file (a transient
+  /// transfer failure — the orchestrator's step retry absorbs it). Targets
+  /// match pipeline names; decision keys are run_ordinal * 1000 + step
+  /// index. Null disarms.
+  void set_fault_injector(std::shared_ptr<common::fault::Injector> faults) {
+    faults_ = std::move(faults);
+  }
+
  private:
   std::map<std::string, DataPipeline> registry_;
+  std::shared_ptr<common::fault::Injector> faults_;
+  std::int64_t run_ordinal_ = 0;  // fault decision key, counts execute() calls
 };
 
 /// FNV-1a content hash of a file, hex encoded.

@@ -38,69 +38,78 @@ DeploymentStep Orchestrator::deploy_node(const Topology& topology, const NodeTem
   obs::Span span("hpcwaas", "deploy:" + node.name);
   step.start_ns = obs::now_ns();
   const auto begin = std::chrono::steady_clock::now();
+  const std::int64_t step_key_base = step_ordinal_++ * 100;
+  int attempt = 0;
 
-  switch (node.kind) {
-    case NodeKind::kCompute: {
-      // Nothing to install; the compute node is the target infrastructure.
-      step.status = Status::Ok();
-      auto it = node.properties.find("cluster");
-      step.detail = "target cluster " + (it != node.properties.end() ? it->second : "default");
-      break;
+  // One attempt of the step's work. Success-path mutations of the deployment
+  // (image ids, workflow node) happen inside, which is safe because the
+  // retry loop only re-runs failed attempts.
+  auto run_once = [&]() -> Status {
+    const std::int64_t attempt_key = step_key_base + attempt++;
+    if (faults_ && faults_->fire(common::fault::Kind::kStepError, node.name, attempt_key)) {
+      OBS_COUNTER_ADD("fault.injected.hpcwaas.step_error", 1);
+      obs::Span fault_span("fault", "inject:step_error");
+      return Status::Unavailable("injected deployment-step fault at node '" + node.name + "'");
     }
-    case NodeKind::kSoftware: {
-      ImageSpec spec;
-      spec.name = node.name;
-      auto it = node.properties.find("base");
-      if (it != node.properties.end()) spec.base = it->second;
-      it = node.properties.find("packages");
-      if (it != node.properties.end()) {
-        for (const std::string& pkg : common::split(it->second, ',')) {
-          const std::string trimmed = common::trim(pkg);
-          if (!trimmed.empty()) spec.packages.push_back(trimmed);
-        }
+    switch (node.kind) {
+      case NodeKind::kCompute: {
+        // Nothing to install; the compute node is the target infrastructure.
+        auto it = node.properties.find("cluster");
+        step.detail = "target cluster " + (it != node.properties.end() ? it->second : "default");
+        return Status::Ok();
       }
-      spec.platform = platform_for(topology, node);
-      auto manifest = images_->build(spec);
-      if (!manifest.ok()) {
-        step.status = manifest.status();
-        break;
-      }
-      deployment->image_ids.push_back(manifest->id);
-      step.status = Status::Ok();
-      step.detail = common::format("image %s (%zu layers, %zu cached, %.0f ms simulated build)",
-                                   manifest->id.c_str(), manifest->layers.size(),
-                                   manifest->cache_hits, manifest->build_ms);
-      break;
-    }
-    case NodeKind::kDataPipeline: {
-      auto it = node.properties.find("pipeline");
-      const std::string pipeline = it != node.properties.end() ? it->second : node.name;
-      auto report = dls_->run(pipeline);
-      if (!report.ok()) {
-        step.status = report.status();
-        break;
-      }
-      if (!report->ok()) {
-        for (const StepReport& sr : report->steps) {
-          if (!sr.status.ok()) {
-            step.status = sr.status;
-            break;
+      case NodeKind::kSoftware: {
+        ImageSpec spec;
+        spec.name = node.name;
+        auto it = node.properties.find("base");
+        if (it != node.properties.end()) spec.base = it->second;
+        it = node.properties.find("packages");
+        if (it != node.properties.end()) {
+          for (const std::string& pkg : common::split(it->second, ',')) {
+            const std::string trimmed = common::trim(pkg);
+            if (!trimmed.empty()) spec.packages.push_back(trimmed);
           }
         }
-      } else {
-        step.status = Status::Ok();
+        spec.platform = platform_for(topology, node);
+        auto manifest = images_->build(spec);
+        if (!manifest.ok()) return manifest.status();
+        deployment->image_ids.push_back(manifest->id);
+        step.detail = common::format("image %s (%zu layers, %zu cached, %.0f ms simulated build)",
+                                     manifest->id.c_str(), manifest->layers.size(),
+                                     manifest->cache_hits, manifest->build_ms);
+        return Status::Ok();
       }
-      step.detail = common::format("pipeline '%s': %zu steps, %s moved", pipeline.c_str(),
-                                   report->steps.size(),
-                                   common::human_bytes(static_cast<double>(report->total_bytes)).c_str());
-      break;
+      case NodeKind::kDataPipeline: {
+        auto it = node.properties.find("pipeline");
+        const std::string pipeline = it != node.properties.end() ? it->second : node.name;
+        auto report = dls_->run(pipeline);
+        if (!report.ok()) return report.status();
+        step.detail = common::format("pipeline '%s': %zu steps, %s moved", pipeline.c_str(),
+                                     report->steps.size(),
+                                     common::human_bytes(static_cast<double>(report->total_bytes))
+                                         .c_str());
+        if (!report->ok()) {
+          for (const StepReport& sr : report->steps) {
+            if (!sr.status.ok()) return sr.status;
+          }
+        }
+        return Status::Ok();
+      }
+      case NodeKind::kWorkflow: {
+        deployment->workflow_node = node.name;
+        step.detail = "workflow entry registered";
+        return Status::Ok();
+      }
     }
-    case NodeKind::kWorkflow: {
-      deployment->workflow_node = node.name;
-      step.status = Status::Ok();
-      step.detail = "workflow entry registered";
-      break;
-    }
+    return Status::Internal("unknown node kind");
+  };
+
+  common::RetryStats stats;
+  step.status = common::retry_call(run_once, retry_, common::transient_status, &stats);
+  step.attempts = stats.attempts;
+  if (stats.attempts > 1) {
+    OBS_COUNTER_ADD("hpcwaas.deploy_step_retries", stats.attempts - 1);
+    step.detail += common::format(" [%d attempts]", stats.attempts);
   }
 
   step.elapsed_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
@@ -136,6 +145,8 @@ std::string deployment_run_report(const Topology& topology, const Deployment& de
     t.start_ns = step.start_ns;
     t.end_ns = std::max(step.end_ns, step.start_ns + 1);
     t.exec_ns = t.end_ns - t.start_ns;
+    t.attempts = step.attempts;
+    if (!step.status.ok()) t.error = step.status.message();
     if (const NodeTemplate* tmpl = topology.find(step.node)) {
       auto add_dep = [&](const std::string& name) {
         auto dep = id_of.find(name);

@@ -7,9 +7,12 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
+#include "common/retry.hpp"
 #include "hpcwaas/containers.hpp"
 #include "hpcwaas/dls.hpp"
 #include "hpcwaas/tosca.hpp"
@@ -24,6 +27,7 @@ struct DeploymentStep {
   double elapsed_ms = 0.0;
   std::int64_t start_ns = -1;  ///< obs::now_ns() clock (profiler input).
   std::int64_t end_ns = -1;
+  int attempts = 1;    ///< Tries including the first (step retry discipline).
   std::string detail;  ///< Image id, pipeline report summary, ...
 };
 
@@ -54,8 +58,21 @@ class Orchestrator {
       : images_(&images), dls_(&dls) {}
 
   /// Deploys a topology: every node in dependency order. Stops at the first
-  /// failing step (state kFailed).
+  /// failing step (state kFailed). Transient step failures (UNAVAILABLE
+  /// image-registry or DLS transfer errors) are retried with backoff before
+  /// the step counts as failed; DeploymentStep::attempts records the tries.
   Deployment deploy(const Topology& topology);
+
+  /// Replaces the per-step retry discipline (common/retry.hpp defaults
+  /// otherwise). max_attempts = 1 disables retrying.
+  void set_retry(common::RetryOptions options) { retry_ = options; }
+
+  /// Arms chaos injection on the deployment path: kStepError rules fail one
+  /// step attempt with UNAVAILABLE. Targets match node names; decision keys
+  /// are step_ordinal * 100 + attempt. Null disarms.
+  void set_fault_injector(std::shared_ptr<common::fault::Injector> faults) {
+    faults_ = std::move(faults);
+  }
 
  private:
   DeploymentStep deploy_node(const Topology& topology, const NodeTemplate& node,
@@ -63,6 +80,9 @@ class Orchestrator {
 
   ContainerImageService* images_;
   DataLogisticsService* dls_;
+  common::RetryOptions retry_;
+  std::shared_ptr<common::fault::Injector> faults_;
+  std::int64_t step_ordinal_ = 0;  // fault decision key, counts deploy_node calls
   std::uint64_t next_id_ = 1;
 };
 

@@ -121,8 +121,11 @@ void TaskContext::set_out(std::size_t idx, std::any value, std::size_t size_byte
 void TaskContext::simulate_compute(std::chrono::nanoseconds duration) const {
   const auto deadline = std::chrono::steady_clock::now() + duration;
   // Busy-wait in small sleeps: sleeping models blocking I/O well enough and
-  // does not oversubscribe the (possibly single-core) host.
+  // does not oversubscribe the (possibly single-core) host. A cancelled
+  // attempt (deadline kill, losing speculative copy) stops early — its
+  // result is discarded at commit anyway.
   while (std::chrono::steady_clock::now() < deadline) {
+    if (cancelled()) return;
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 }
@@ -140,6 +143,9 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   registry.set_help("taskrt.dep_wait_ns", "Submit-to-ready latency (dependency wait)");
   registry.set_help("taskrt.queue_wait_ns", "Enqueue-to-dequeue latency (ready-queue wait)");
   registry.set_help("taskrt.checkpoint_save_ns", "Time spent saving task checkpoints");
+  registry.set_help("taskrt.node_failures", "Worker nodes declared dead");
+  registry.set_help("taskrt.tasks_replayed", "Completed tasks re-executed for data recovery");
+  faults_ = options_.faults ? options_.faults : common::fault::Injector::from_env();
   if (options_.nodes.empty()) {
     const std::size_t n = std::max<std::size_t>(1, options_.workers);
     for (std::size_t i = 0; i < n; ++i) {
@@ -158,12 +164,18 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   }
 
   node_queues_.resize(nodes_.size());
+  const std::int64_t boot_ns = now_ns();
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    node_runtime_.push_back(std::make_unique<NodeRuntime>());
+    node_runtime_.back()->heartbeat_ns = boot_ns;
+  }
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     const int cores = std::max(1, nodes_[n].cores);
     for (int c = 0; c < cores; ++c) {
       workers_.emplace_back([this, n] { worker_loop(static_cast<int>(n)); });
     }
   }
+  monitor_ = std::thread([this] { monitor_loop(); });
 }
 
 Runtime::~Runtime() {
@@ -177,7 +189,9 @@ Runtime::~Runtime() {
     stopping_ = true;
   }
   scheduler_cv_.notify_all();
+  monitor_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  if (monitor_.joinable()) monitor_.join();
 
   if (verifier_) {
     {
@@ -334,25 +348,24 @@ TaskId Runtime::submit(const std::string& name, const TaskOptions& options,
   }
 
   // A dependency that already failed or was cancelled poisons this task.
-  bool poisoned = false;
+  TaskId poisoned_by = kNoTask;
   for (TaskId dep : task->deps) {
     const TaskState dep_state = tasks_[dep - 1]->state;
     if (dep_state == TaskState::kFailed || dep_state == TaskState::kCancelled) {
-      poisoned = true;
+      poisoned_by = dep;
       break;
     }
   }
   tasks_.push_back(std::move(task));
   TaskRecord& record = *tasks_.back();
-  if (poisoned) {
-    record.state = TaskState::kCancelled;
-    ++stats_.tasks_cancelled;
-    ++terminal_tasks_;
-    for (const ParamBinding& binding : record.bindings) {
-      if (binding.direction != Direction::kIn) {
-        data_[binding.data].versions[binding.write_version].cancelled = true;
-      }
-    }
+  if (poisoned_by != kNoTask) {
+    // Name the ROOT failed task in the reason, not an intermediate
+    // cancellation: "poisoned by a cancelled task" is itself transitive.
+    TaskId root = poisoned_by;
+    if (tasks_[root - 1]->cancelled_by != kNoTask) root = tasks_[root - 1]->cancelled_by;
+    cancel_locked(record, poisoned_by,
+                  "cancelled by failure of task " + std::to_string(root) + " ('" +
+                      tasks_[root - 1]->name + "')");
     completion_cv_.notify_all();
     return id;
   }
@@ -383,13 +396,14 @@ void Runtime::enqueue_ready(TaskId id) {
   task.queued_ns = now;
   const int node = pick_node(task);
   if (node < 0) {
-    // No node satisfies the constraints: unschedulable, treat as failed.
+    // No live node satisfies the constraints: unschedulable, treat as failed.
     task.state = TaskState::kFailed;
     task.end_ns = now_ns();
     task.error = "no node satisfies constraints";
     ++stats_.tasks_failed;
     ++terminal_tasks_;
-    cancel_successors(id);
+    cancel_successors(id, "cancelled by failure of task " + std::to_string(id) + " ('" +
+                              task.name + "': unschedulable)");
     if (task.options.on_failure == FailurePolicy::kFail) {
       fatal_error_ = "task '" + task.name + "' unschedulable";
     }
@@ -414,7 +428,7 @@ int Runtime::pick_node(const TaskRecord& task) {
     // Round-robin over eligible nodes (ablation baseline).
     for (std::size_t probe = 0; probe < nodes_.size(); ++probe) {
       const std::size_t n = (round_robin_cursor_ + probe) % nodes_.size();
-      if (node_eligible(static_cast<int>(n), task)) {
+      if (node_alive_locked(n) && node_eligible(static_cast<int>(n), task)) {
         round_robin_cursor_ = n + 1;
         return static_cast<int>(n);
       }
@@ -424,6 +438,7 @@ int Runtime::pick_node(const TaskRecord& task) {
   int best = -1;
   std::int64_t best_score = -1;
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (!node_alive_locked(n)) continue;
     if (!node_eligible(static_cast<int>(n), task)) continue;
     // Locality score: bytes of the task's inputs already resident here,
     // minus a queue-length penalty to keep load balanced.
@@ -447,29 +462,38 @@ int Runtime::pick_node(const TaskRecord& task) {
 }
 
 void Runtime::worker_loop(int node_index) {
+  NodeRuntime& self = *node_runtime_[static_cast<std::size_t>(node_index)];
+  // A task is claimable when ready, or when it is a running straggler with a
+  // queued speculative backup copy.
+  const auto claimable = [&](const TaskRecord& task) {
+    return task.state == TaskState::kReady ||
+           (task.state == TaskState::kRunning && task.backup_pending);
+  };
+  const auto heartbeat_interval = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(std::max(0.5, options_.heartbeat_interval_ms) * 1e6));
+
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    scheduler_cv_.wait(lock, [&] {
-      if (stopping_) return true;
-      if (!node_queues_[static_cast<std::size_t>(node_index)].empty()) return true;
-      // Steal check: any queue with a task this node may run.
-      for (std::size_t n = 0; n < node_queues_.size(); ++n) {
-        if (n == static_cast<std::size_t>(node_index)) continue;
-        for (TaskId id : node_queues_[n]) {
-          if (node_eligible(node_index, *tasks_[id - 1])) return true;
-        }
-      }
-      return false;
-    });
+    // Liveness stamp: an idle worker proves its node alive every loop turn.
+    // During a long task body no stamps happen, which is why the monitor only
+    // declares death when the node also has no body in flight.
+    self.heartbeat_ns = now_ns();
     if (stopping_) return;
+    if (self.crashed) return;  // injected node failure: stop draining
 
     TaskId task_id = kNoTask;
+    bool backup = false;
     auto& own = node_queues_[static_cast<std::size_t>(node_index)];
     while (!own.empty() && task_id == kNoTask) {
       const TaskId candidate = own.front();
       own.pop_front();
       OBS_GAUGE_ADD("taskrt.ready_queue_depth", -1);
-      if (tasks_[candidate - 1]->state == TaskState::kReady) task_id = candidate;
+      TaskRecord& task = *tasks_[candidate - 1];
+      if (claimable(task)) {
+        task_id = candidate;
+        backup = task.state == TaskState::kRunning;
+        if (backup) task.backup_pending = false;
+      }
     }
     if (task_id == kNoTask) {
       // Steal from the longest eligible queue.
@@ -480,7 +504,7 @@ void Runtime::worker_loop(int node_index) {
         if (node_queues_[n].size() <= victim_len) continue;
         bool has_eligible = false;
         for (TaskId id : node_queues_[n]) {
-          if (tasks_[id - 1]->state == TaskState::kReady && node_eligible(node_index, *tasks_[id - 1])) {
+          if (claimable(*tasks_[id - 1]) && node_eligible(node_index, *tasks_[id - 1])) {
             has_eligible = true;
             break;
           }
@@ -493,8 +517,11 @@ void Runtime::worker_loop(int node_index) {
       if (victim < node_queues_.size()) {
         auto& q = node_queues_[victim];
         for (auto it = q.begin(); it != q.end(); ++it) {
-          if (tasks_[*it - 1]->state == TaskState::kReady && node_eligible(node_index, *tasks_[*it - 1])) {
+          TaskRecord& task = *tasks_[*it - 1];
+          if (claimable(task) && node_eligible(node_index, task)) {
             task_id = *it;
+            backup = task.state == TaskState::kRunning;
+            if (backup) task.backup_pending = false;
             q.erase(it);
             OBS_GAUGE_ADD("taskrt.ready_queue_depth", -1);
             OBS_COUNTER_ADD("taskrt.steals", 1);
@@ -503,18 +530,26 @@ void Runtime::worker_loop(int node_index) {
         }
       }
     }
-    if (task_id == kNoTask) continue;
+    if (task_id == kNoTask) {
+      // Bounded wait instead of a bare cv wait: the timeout doubles as the
+      // heartbeat cadence.
+      scheduler_cv_.wait_for(lock, heartbeat_interval);
+      continue;
+    }
 
     lock.unlock();
-    execute_task(task_id, node_index);
+    execute_task(task_id, node_index, backup);
     lock.lock();
   }
 }
 
-void Runtime::execute_task(TaskId id, int node_index) {
+void Runtime::execute_task(TaskId id, int node_index, bool backup) {
   TaskContext ctx;
   std::int64_t transfer_bytes = 0;
   std::int64_t stage_begin_ns = 0;
+  int attempt = -1;
+  bool inject_error = false;
+  double slowdown_ms = 0.0;
   // Resolved under the lock below, then used outside it while the task body
   // runs: the record's address is stable (unique_ptr), but indexing tasks_
   // unlocked would race with submit() reallocating the vector.
@@ -522,29 +557,92 @@ void Runtime::execute_task(TaskId id, int node_index) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     TaskRecord& task = *tasks_[id - 1];
-    if (task.state != TaskState::kReady) return;
-    running = &task;
-    task.state = TaskState::kRunning;
-    task.node = node_index;
-    const std::int64_t dequeue_ns = now_ns();
-    task.start_ns = task.start_ns < 0 ? dequeue_ns : task.start_ns;
-    if (task.queued_ns >= 0) {
-      obs::observe_histogram("taskrt.queue_wait_ns", static_cast<double>(dequeue_ns - task.queued_ns));
+    NodeRuntime& node = *node_runtime_[static_cast<std::size_t>(node_index)];
+    if (!node_alive_locked(static_cast<std::size_t>(node_index))) {
+      // The node crashed between claim and pickup: give the task back.
+      if (task.state == TaskState::kReady) enqueue_ready(id);
+      return;
     }
-    if (task.ready_ns >= 0 && task.attempts == 0) {
-      obs::observe_histogram("taskrt.dep_wait_ns", static_cast<double>(task.ready_ns - task.submit_ns));
+    if (backup) {
+      // A speculative copy only makes sense while the primary is in flight.
+      if (task.state != TaskState::kRunning || task.live_attempts.empty()) return;
+    } else if (task.state != TaskState::kReady) {
+      return;
+    }
+
+    // Injected node crash, decided at task pickup BEFORE any attempt
+    // bookkeeping: no retry budget is consumed and no side effects leak —
+    // a crash is a property of the node, not a body failure.
+    const std::int64_t pickup_key = node.pickups++;
+    if (faults_ && faults_->fire(common::fault::Kind::kNodeCrash,
+                                 nodes_[static_cast<std::size_t>(node_index)].name, pickup_key)) {
+      node.crashed = true;
+      OBS_COUNTER_ADD("fault.injected.taskrt.node_crash", 1);
+      obs::Span span("fault", "inject:node_crash");
+      if (!backup) enqueue_ready(id);  // re-home the popped task
+      scheduler_cv_.notify_all();
+      monitor_cv_.notify_all();
+      return;
+    }
+    if (faults_) {
+      if (auto slow = faults_->fire(common::fault::Kind::kNodeSlowdown,
+                                    nodes_[static_cast<std::size_t>(node_index)].name, pickup_key)) {
+        slowdown_ms = slow->delay_ms;
+        OBS_COUNTER_ADD("fault.injected.taskrt.node_slowdown", 1);
+      }
+    }
+
+    // Input readiness re-check: a version can lose its value between
+    // enqueue and pickup when its only replica died with a node. Block the
+    // task again and replay the producers (lazy lineage recovery).
+    for (const ParamBinding& binding : task.bindings) {
+      if (binding.direction == Direction::kOut) continue;
+      if (!data_.at(binding.data).versions[binding.read_version].ready) {
+        if (!backup) {
+          reblock_on_lost_inputs_locked(task);
+          scheduler_cv_.notify_all();
+        }
+        return;
+      }
+    }
+
+    running = &task;
+    const std::int64_t dequeue_ns = now_ns();
+    attempt = task.attempts++;
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    task.live_attempts[attempt] = AttemptInfo{cancel, node_index, dequeue_ns, backup};
+    ++node.executing;
+    ++stats_.tasks_executed;
+    if (!backup) {
+      task.state = TaskState::kRunning;
+      task.node = node_index;
+      // Re-stamped on every primary dequeue (like queued_ns on every
+      // enqueue) so queue-wait attribution covers the attempt that ran last.
+      task.start_ns = dequeue_ns;
+      if (task.queued_ns >= 0) {
+        obs::observe_histogram("taskrt.queue_wait_ns", static_cast<double>(dequeue_ns - task.queued_ns));
+      }
+      if (task.ready_ns >= 0 && attempt == 0) {
+        obs::observe_histogram("taskrt.dep_wait_ns", static_cast<double>(task.ready_ns - task.submit_ns));
+      }
     }
     ctx.params_ = task.original_params;
     ctx.inputs_.resize(task.bindings.size());
     ctx.outputs_.resize(task.bindings.size());
     ctx.access_.resize(task.bindings.size());
     ctx.verifier_ = verifier_.get();
+    ctx.cancel_flag_ = cancel;
     ctx.node_ = node_index;
     ctx.task_id_ = id;
     ctx.name_ = task.name;
-    ctx.attempt_ = task.attempts;
-    ++task.attempts;
-    ++stats_.tasks_executed;
+    ctx.attempt_ = attempt;
+
+    // Injected task-body exception: decided per (task, attempt) so a retry
+    // draws a fresh decision instead of repeating the same verdict.
+    if (faults_ && faults_->fire(common::fault::Kind::kTaskError, task.name,
+                                 static_cast<std::int64_t>(id) * 131 + attempt)) {
+      inject_error = true;
+    }
 
     // Transfer phase begins: input staging (value copies onto this node)
     // plus the simulated interconnect delay below.
@@ -553,7 +651,6 @@ void Runtime::execute_task(TaskId id, int node_index) {
       const ParamBinding& binding = task.bindings[i];
       if (binding.direction == Direction::kOut) continue;
       VersionRecord& version = data_.at(binding.data).versions[binding.read_version];
-      assert(version.ready);
       ctx.inputs_[i] = *version.value;
       if (!version.replicas.count(node_index)) {
         version.replicas.insert(node_index);
@@ -578,6 +675,12 @@ void Runtime::execute_task(TaskId id, int node_index) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(
         static_cast<std::int64_t>(options_.container_startup_ms * 1e6)));
   }
+  if (slowdown_ms > 0) {
+    // Injected node slowdown: the straggler stimulus for speculation.
+    obs::Span span("fault", "inject:node_slowdown");
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(slowdown_ms * 1e6)));
+  }
 
   std::string error;
   bool success = true;
@@ -587,14 +690,21 @@ void Runtime::execute_task(TaskId id, int node_index) {
     // Perfetto trace can show the task timeline alongside the other layers.
     obs::Span span("taskrt", ctx.name_);
     const std::int64_t fn_start = obs::now_ns();
-    try {
-      running->fn(ctx);  // fn immutable while the task is running
-    } catch (const std::exception& e) {
+    if (inject_error) {
+      obs::Span fault_span("fault", "inject:task_error");
+      OBS_COUNTER_ADD("fault.injected.taskrt.task_error", 1);
       success = false;
-      error = e.what();
-    } catch (...) {
-      success = false;
-      error = "unknown exception";
+      error = "injected task-body fault";
+    } else {
+      try {
+        running->fn(ctx);  // fn immutable while the task is running
+      } catch (const std::exception& e) {
+        success = false;
+        error = e.what();
+      } catch (...) {
+        success = false;
+        error = "unknown exception";
+      }
     }
     body_ns = obs::now_ns() - fn_start;
     obs::observe_histogram("taskrt.task_ns." + ctx.name_, static_cast<double>(body_ns));
@@ -638,16 +748,8 @@ void Runtime::execute_task(TaskId id, int node_index) {
     }
   }
 
-  // Move the produced outputs into the task record under the lock inside
-  // finish_task; stash them on the context first. Accumulate the attempt's
-  // attribution components (retries add up) for the trace/profiler.
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    running->pending_outputs = std::move(ctx.outputs_);
-    running->transfer_ns += transfer_done_ns - stage_begin_ns;
-    running->exec_ns += body_ns;
-  }
-  finish_task(id, success, error);
+  finish_task(id, attempt, node_index, success, error, std::move(ctx.outputs_),
+              transfer_done_ns - stage_begin_ns, body_ns);
 }
 
 void Runtime::commit_outputs_from_checkpoint(TaskRecord& task,
@@ -673,81 +775,69 @@ void Runtime::commit_outputs_from_checkpoint(TaskRecord& task,
   ++terminal_tasks_;
 }
 
-void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
+void Runtime::finish_task(TaskId id, int attempt, int node_index, bool success,
+                          const std::string& error, std::vector<TaskContext::Slot> outputs,
+                          std::int64_t transfer_add_ns, std::int64_t body_ns) {
   std::vector<std::string> checkpoint_blobs;
   std::string checkpoint_key;
   bool want_checkpoint = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     TaskRecord& task = *tasks_[id - 1];
+    NodeRuntime& node = *node_runtime_[static_cast<std::size_t>(node_index)];
+    --node.executing;
+    // Attribution accumulates over attempts (retries and speculative copies
+    // add up), even when this attempt's result is discarded below.
+    task.transfer_ns += transfer_add_ns;
+    task.exec_ns += body_ns;
+    if (task.replaying) recovery_.recovery_exec_ns += body_ns;
 
-    if (!success) {
-      const FailurePolicy policy = task.options.on_failure;
-      LOG_DEBUG(kLogTag) << "task " << id << " ('" << task.name << "') failed (attempt "
-                         << task.attempts << ", policy " << failure_policy_name(policy)
-                         << "): " << error;
-      if (policy == FailurePolicy::kRetry && task.attempts <= task.options.max_retries) {
-        ++stats_.retries;
-        task.state = TaskState::kReady;
-        task.queued_ns = now_ns();  // queue wait of the retry attempt
-        const int node = pick_node(task);
-        node_queues_[static_cast<std::size_t>(node < 0 ? 0 : node)].push_back(id);
-        OBS_GAUGE_ADD("taskrt.ready_queue_depth", 1);
-        scheduler_cv_.notify_all();
-        return;
-      }
-      if (policy == FailurePolicy::kIgnore) {
-        // Continue the workflow: outputs fall back to the superseded version's
-        // value (or stay empty), successors run.
-        ++stats_.tasks_failed;
-        task.error = error;
-        for (std::size_t i = 0; i < task.bindings.size(); ++i) {
-          const ParamBinding& binding = task.bindings[i];
-          if (binding.direction == Direction::kIn) continue;
-          auto& versions = data_[binding.data].versions;
-          VersionRecord& version = versions[binding.write_version];
-          version.value = versions[binding.write_version - 1].value;
-          version.size_bytes = versions[binding.write_version - 1].size_bytes;
-          version.ready = true;
-          version.replicas = versions[binding.write_version - 1].replicas;
-        }
-        complete_locked(task);
-        return;
-      }
-      // kFail or kRetry exhausted or kCancelSuccessors.
-      task.state = TaskState::kFailed;
-      task.error = error;
-      task.end_ns = now_ns();
-      ++stats_.tasks_failed;
-      ++terminal_tasks_;
-      for (const ParamBinding& binding : task.bindings) {
-        if (binding.direction != Direction::kIn) {
-          data_[binding.data].versions[binding.write_version].cancelled = true;
-        }
-      }
-      cancel_successors(id);
-      if (policy == FailurePolicy::kFail || policy == FailurePolicy::kRetry) {
-        // Retry exhaustion is fatal too: the task's result is required.
-        fatal_error_ = "task '" + task.name + "' failed: " + error;
-        // Cancel everything not yet running so the workflow drains.
-        for (auto& other : tasks_) {
-          if (other->state == TaskState::kPending || other->state == TaskState::kReady) {
-            cancel_locked(*other);
-          }
-        }
-      }
-      completion_cv_.notify_all();
+    auto it = task.live_attempts.find(attempt);
+    if (it == task.live_attempts.end()) {
+      // Superseded: a deadline kill, a faster speculative copy or a workflow
+      // abort already discarded this attempt; only its timing was kept.
       scheduler_cv_.notify_all();
       return;
     }
+    if (node.crashed) {
+      // Physical consistency: a result computed on a crashed node is lost
+      // with the node. Drop the attempt without consuming the retry budget;
+      // the death handler reschedules the task.
+      task.live_attempts.erase(it);
+      --task.attempts;
+      ++task.node_failures;
+      ++recovery_.tasks_rescheduled;
+      monitor_cv_.notify_all();
+      return;
+    }
+    const bool was_backup = it->second.backup;
+    task.live_attempts.erase(it);
+    if (task.state != TaskState::kRunning) return;
 
-    // Success: publish outputs.
+    if (!success) {
+      for (auto& [index, info] : task.live_attempts) info.cancel->store(true);
+      task.live_attempts.clear();
+      fail_task_locked(task, error);
+      return;
+    }
+
+    // First healthy finisher commits; slower concurrent attempts are
+    // cancelled and their late results discarded via the live_attempts miss.
+    if (was_backup) ++recovery_.speculative_wins;
+    for (auto& [index, info] : task.live_attempts) info.cancel->store(true);
+    task.live_attempts.clear();
+    task.node = node_index;
+    FnStat& fn_stat = fn_stats_[task.name];
+    fn_stat.total_ns += body_ns;
+    ++fn_stat.count;
+
+    // Publish outputs.
     for (std::size_t i = 0; i < task.bindings.size(); ++i) {
       const ParamBinding& binding = task.bindings[i];
       if (binding.direction == Direction::kIn) continue;
       auto& versions = data_[binding.data].versions;
       VersionRecord& version = versions[binding.write_version];
-      TaskContext::Slot& slot = task.pending_outputs[i];
+      TaskContext::Slot& slot = outputs[i];
       if (slot.written) {
         version.value = std::make_shared<std::any>(std::move(slot.value));
         if (slot.size_bytes) version.size_bytes = slot.size_bytes;
@@ -757,7 +847,11 @@ void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
         version.value = std::make_shared<std::any>();  // OUT never set: empty
       }
       version.ready = true;
-      version.replicas.insert(task.node);
+      version.cancelled = false;
+      version.replicas.insert(node_index);
+      // Durable outputs also live on reliable storage (-1 = master/storage
+      // home): losing the node does not lose them.
+      if (task.options.durable_outputs) version.replicas.insert(-1);
     }
     if (checkpoints_ && !task.options.checkpoint_key.empty() && task.options.codec.usable()) {
       want_checkpoint = true;
@@ -786,10 +880,67 @@ void Runtime::finish_task(TaskId id, bool success, const std::string& error) {
   }
 }
 
+void Runtime::fail_task_locked(TaskRecord& task, const std::string& error) {
+  const FailurePolicy policy = task.options.on_failure;
+  LOG_DEBUG(kLogTag) << "task " << task.id << " ('" << task.name << "') failed (attempt "
+                     << task.attempts << ", policy " << failure_policy_name(policy)
+                     << "): " << error;
+  if (policy == FailurePolicy::kRetry && task.attempts <= task.options.max_retries) {
+    ++stats_.retries;
+    enqueue_ready(task.id);  // re-stamps queued_ns: the retry's queue wait
+    return;
+  }
+  if (policy == FailurePolicy::kIgnore) {
+    // Continue the workflow: outputs fall back to the superseded version's
+    // value (or stay empty), successors run.
+    ++stats_.tasks_failed;
+    task.error = error;
+    for (std::size_t i = 0; i < task.bindings.size(); ++i) {
+      const ParamBinding& binding = task.bindings[i];
+      if (binding.direction == Direction::kIn) continue;
+      auto& versions = data_[binding.data].versions;
+      VersionRecord& version = versions[binding.write_version];
+      version.value = versions[binding.write_version - 1].value;
+      version.size_bytes = versions[binding.write_version - 1].size_bytes;
+      version.ready = true;
+      version.replicas = versions[binding.write_version - 1].replicas;
+    }
+    complete_locked(task);
+    return;
+  }
+  // kFail or kRetry exhausted or kCancelSuccessors.
+  task.state = TaskState::kFailed;
+  task.error = error;
+  task.end_ns = now_ns();
+  ++stats_.tasks_failed;
+  ++terminal_tasks_;
+  for (const ParamBinding& binding : task.bindings) {
+    if (binding.direction != Direction::kIn) {
+      data_[binding.data].versions[binding.write_version].cancelled = true;
+    }
+  }
+  cancel_successors(task.id, "cancelled by failure of task " + std::to_string(task.id) + " ('" +
+                                 task.name + "')");
+  if (policy == FailurePolicy::kFail || policy == FailurePolicy::kRetry) {
+    // Retry exhaustion is fatal too: the task's result is required.
+    fatal_error_ = "task '" + task.name + "' failed: " + error;
+    // Cancel everything not yet running so the workflow drains.
+    for (auto& other : tasks_) {
+      if (other->state == TaskState::kPending || other->state == TaskState::kReady) {
+        cancel_locked(*other, task.id,
+                      "cancelled: workflow aborted by failure of task " +
+                          std::to_string(task.id) + " ('" + task.name + "')");
+      }
+    }
+  }
+  completion_cv_.notify_all();
+  scheduler_cv_.notify_all();
+}
+
 void Runtime::complete_locked(TaskRecord& task) {
   task.state = TaskState::kCompleted;
   task.end_ns = now_ns();
-  task.pending_outputs.clear();
+  task.replaying = false;
   ++stats_.tasks_completed;
   ++terminal_tasks_;
   for (TaskId succ : task.successors) {
@@ -801,13 +952,21 @@ void Runtime::complete_locked(TaskRecord& task) {
   scheduler_cv_.notify_all();
 }
 
-void Runtime::cancel_locked(TaskRecord& task) {
+void Runtime::cancel_locked(TaskRecord& task, TaskId cause, const std::string& reason) {
   if (task.state == TaskState::kCompleted || task.state == TaskState::kFailed ||
       task.state == TaskState::kCancelled) {
     return;
   }
+  // Resolve the root cause so every transitively cancelled task names the
+  // originally failed task, not the intermediate cancellation.
+  TaskId root = cause;
+  if (cause != kNoTask && tasks_[cause - 1]->cancelled_by != kNoTask) {
+    root = tasks_[cause - 1]->cancelled_by;
+  }
   task.state = TaskState::kCancelled;
   task.end_ns = now_ns();
+  task.error = reason;
+  task.cancelled_by = root;
   ++stats_.tasks_cancelled;
   ++terminal_tasks_;
   for (const ParamBinding& binding : task.bindings) {
@@ -815,11 +974,305 @@ void Runtime::cancel_locked(TaskRecord& task) {
       data_[binding.data].versions[binding.write_version].cancelled = true;
     }
   }
-  for (TaskId succ : task.successors) cancel_locked(*tasks_[succ - 1]);
+  for (auto& [index, info] : task.live_attempts) info.cancel->store(true);
+  task.live_attempts.clear();
+  if (verifier_) {
+    verify::Diagnostic diag;
+    diag.kind = verify::DiagKind::kCancelledByFailure;
+    diag.severity = verify::Severity::kNote;
+    diag.task = task.id;
+    diag.task_name = task.name;
+    diag.message = reason;
+    verifier_->add(std::move(diag));
+  }
+  for (TaskId succ : task.successors) cancel_locked(*tasks_[succ - 1], task.id, reason);
 }
 
-void Runtime::cancel_successors(TaskId id) {
-  for (TaskId succ : tasks_[id - 1]->successors) cancel_locked(*tasks_[succ - 1]);
+void Runtime::cancel_successors(TaskId id, const std::string& reason) {
+  for (TaskId succ : tasks_[id - 1]->successors) {
+    cancel_locked(*tasks_[succ - 1], id, reason);
+  }
+}
+
+// ------------------------------------------------ node failure and recovery
+
+void Runtime::monitor_loop() {
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(std::max(0.5, options_.heartbeat_interval_ms) * 1e6));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const std::int64_t now = now_ns();
+
+    // Deadline enforcement: a task whose earliest live attempt has run past
+    // deadline_ms is treated as hung and routed through its failure policy.
+    for (auto& task_ptr : tasks_) {
+      TaskRecord& task = *task_ptr;
+      if (task.state != TaskState::kRunning || task.options.deadline_ms <= 0 ||
+          task.live_attempts.empty()) {
+        continue;
+      }
+      std::int64_t earliest_ns = task.live_attempts.begin()->second.start_ns;
+      for (const auto& [index, info] : task.live_attempts) {
+        earliest_ns = std::min(earliest_ns, info.start_ns);
+      }
+      const double elapsed_ms = static_cast<double>(now - earliest_ns) / 1e6;
+      if (elapsed_ms <= task.options.deadline_ms) continue;
+      for (auto& [index, info] : task.live_attempts) info.cancel->store(true);
+      task.live_attempts.clear();
+      ++recovery_.deadline_failures;
+      fail_task_locked(task, "deadline of " + std::to_string(task.options.deadline_ms) +
+                                 " ms exceeded (hung-task detection)");
+    }
+
+    // Speculative straggler re-execution: a task running much longer than
+    // its function's trailing mean gets a backup copy on another node; the
+    // first finisher wins and the loser is cancelled at commit.
+    if (options_.speculation) {
+      for (auto& task_ptr : tasks_) {
+        TaskRecord& task = *task_ptr;
+        if (task.state != TaskState::kRunning || task.live_attempts.size() != 1 ||
+            task.backup_pending || task.speculated || !task.options.allow_speculation) {
+          continue;
+        }
+        const auto stat_it = fn_stats_.find(task.name);
+        if (stat_it == fn_stats_.end() ||
+            stat_it->second.count < options_.speculation_min_samples) {
+          continue;
+        }
+        const double mean_ms = static_cast<double>(stat_it->second.total_ns) /
+                               static_cast<double>(stat_it->second.count) / 1e6;
+        const AttemptInfo& primary = task.live_attempts.begin()->second;
+        const double elapsed_ms = static_cast<double>(now - primary.start_ns) / 1e6;
+        const double threshold_ms =
+            std::max(options_.speculation_factor * mean_ms, options_.speculation_min_ms);
+        if (elapsed_ms <= threshold_ms) continue;
+        int target = -1;
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+          if (static_cast<int>(n) == primary.node) continue;
+          if (node_alive_locked(n) && node_eligible(static_cast<int>(n), task)) {
+            target = static_cast<int>(n);
+            break;
+          }
+        }
+        if (target < 0) continue;  // nowhere to run a backup
+        task.backup_pending = true;
+        task.speculated = true;
+        ++recovery_.speculative_backups;
+        node_queues_[static_cast<std::size_t>(target)].push_back(task.id);
+        OBS_GAUGE_ADD("taskrt.ready_queue_depth", 1);
+        OBS_COUNTER_ADD("taskrt.speculative_backups", 1);
+        scheduler_cv_.notify_all();
+      }
+    }
+
+    // Node death: a crashed node is declared dead once its heartbeat is
+    // stale AND no body is still in flight there (a finisher first drops its
+    // now-lost result in finish_task).
+    const auto timeout_ns =
+        static_cast<std::int64_t>(std::max(1.0, options_.heartbeat_timeout_ms) * 1e6);
+    for (std::size_t n = 0; n < node_runtime_.size(); ++n) {
+      NodeRuntime& node = *node_runtime_[n];
+      if (node.dead || !node.crashed || node.executing > 0) continue;
+      if (now - node.heartbeat_ns < timeout_ns) continue;
+      handle_node_death_locked(n);
+    }
+
+    monitor_cv_.wait_for(lock, interval);
+  }
+}
+
+void Runtime::handle_node_death_locked(std::size_t node_index) {
+  NodeRuntime& node = *node_runtime_[node_index];
+  node.dead = true;
+  ++recovery_.node_failures;
+  OBS_COUNTER_ADD("taskrt.node_failures", 1);
+  obs::Span span("fault", "node_death:" + nodes_[node_index].name);
+  LOG_WARN(kLogTag) << "node " << nodes_[node_index].name
+                    << " declared dead (missed heartbeats); recovering";
+
+  // Re-home the dead node's queued work.
+  std::deque<TaskId> orphaned;
+  orphaned.swap(node_queues_[node_index]);
+  for (TaskId id : orphaned) {
+    OBS_GAUGE_ADD("taskrt.ready_queue_depth", -1);
+    TaskRecord& task = *tasks_[id - 1];
+    if (task.state == TaskState::kReady) {
+      enqueue_ready(id);
+    } else if (task.state == TaskState::kRunning && task.backup_pending) {
+      // Queued speculative copy: re-home it onto a surviving node.
+      for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        if (n == node_index || !node_alive_locked(n) ||
+            !node_eligible(static_cast<int>(n), task)) {
+          continue;
+        }
+        node_queues_[n].push_back(id);
+        OBS_GAUGE_ADD("taskrt.ready_queue_depth", 1);
+        break;
+      }
+    }
+  }
+
+  // Reschedule in-flight attempts lost with the node. Failed-by-node is NOT
+  // a body failure: the retry budget is untouched (attempts is rolled back).
+  for (auto& task_ptr : tasks_) {
+    TaskRecord& task = *task_ptr;
+    if (task.state != TaskState::kRunning) continue;
+    bool lost = false;
+    for (auto it = task.live_attempts.begin(); it != task.live_attempts.end();) {
+      if (it->second.node != static_cast<int>(node_index)) {
+        ++it;
+        continue;
+      }
+      it->second.cancel->store(true);
+      it = task.live_attempts.erase(it);
+      --task.attempts;
+      ++task.node_failures;
+      ++recovery_.tasks_rescheduled;
+      lost = true;
+    }
+    if (task.live_attempts.empty()) {
+      enqueue_ready(task.id);
+    } else if (lost) {
+      task.node = task.live_attempts.begin()->second.node;  // surviving attempt
+    }
+  }
+
+  // Invalidate data versions homed only on the dead node. Tasks that later
+  // try to read them re-block and replay the producers (lazy recovery);
+  // durable outputs live on reliable storage and survive.
+  for (auto& [data_id, record] : data_) {
+    for (VersionRecord& version : record.versions) {
+      if (version.replicas.erase(static_cast<int>(node_index)) == 0) continue;
+      if (!version.ready || !version.replicas.empty()) continue;
+      if (version.writer == kNoTask) continue;
+      if (tasks_[version.writer - 1]->options.durable_outputs) {
+        version.replicas.insert(-1);
+        continue;
+      }
+      version.ready = false;
+      version.value = std::make_shared<std::any>();
+      ++recovery_.data_versions_lost;
+    }
+  }
+
+  bool any_alive = false;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (node_alive_locked(n)) {
+      any_alive = true;
+      break;
+    }
+  }
+  if (!any_alive && fatal_error_.empty()) {
+    fatal_error_ = "all nodes failed";
+    for (auto& other : tasks_) {
+      if (other->state == TaskState::kPending || other->state == TaskState::kReady) {
+        cancel_locked(*other, kNoTask, "cancelled: all nodes failed");
+      }
+    }
+  }
+  scheduler_cv_.notify_all();
+  completion_cv_.notify_all();
+}
+
+void Runtime::replay_task_locked(TaskId id) {
+  TaskRecord& task = *tasks_[id - 1];
+  if (task.state != TaskState::kCompleted) return;  // already replaying or live
+  if (task.options.durable_outputs) return;  // outputs survive on reliable storage
+
+  // Checkpoint fast path: restore the stored outputs instead of re-running.
+  if (checkpoints_ && !task.options.checkpoint_key.empty() && task.options.codec.usable() &&
+      checkpoints_->contains(task.options.checkpoint_key)) {
+    auto blobs = checkpoints_->load(task.options.checkpoint_key);
+    if (blobs.ok()) {
+      std::size_t blob_index = 0;
+      for (const ParamBinding& binding : task.bindings) {
+        if (binding.direction == Direction::kIn) continue;
+        VersionRecord& version = data_[binding.data].versions[binding.write_version];
+        std::any value;
+        if (blob_index < blobs->size()) {
+          value = task.options.codec.deserialize((*blobs)[blob_index]);
+        }
+        ++blob_index;
+        if (!version.ready) ++recovery_.data_versions_rematerialized;
+        version.value = std::make_shared<std::any>(std::move(value));
+        version.ready = true;
+        version.cancelled = false;
+        version.replicas.insert(-1);
+      }
+      ++recovery_.tasks_replayed;
+      ++recovery_.checkpoint_restores;
+      OBS_COUNTER_ADD("taskrt.tasks_replayed", 1);
+      LOG_INFO(kLogTag) << "task " << id << " ('" << task.name
+                        << "') restored from checkpoint after data loss";
+      completion_cv_.notify_all();
+      scheduler_cv_.notify_all();
+      return;
+    }
+  }
+
+  // Lineage re-execution: back to pending, outputs reset, lost producers
+  // replayed recursively with the dependency edges re-registered.
+  ++recovery_.tasks_replayed;
+  OBS_COUNTER_ADD("taskrt.tasks_replayed", 1);
+  LOG_INFO(kLogTag) << "task " << id << " ('" << task.name
+                    << "') re-executed to recover lost data (lineage replay)";
+  --terminal_tasks_;
+  --stats_.tasks_completed;
+  task.replaying = true;
+  task.from_checkpoint = false;
+  for (const ParamBinding& binding : task.bindings) {
+    if (binding.direction == Direction::kIn) continue;
+    VersionRecord& version = data_[binding.data].versions[binding.write_version];
+    if (!version.ready) ++recovery_.data_versions_rematerialized;
+    version.ready = false;
+    version.cancelled = false;
+    version.value = std::make_shared<std::any>();
+    version.replicas.clear();
+  }
+  reblock_on_lost_inputs_locked(task);
+}
+
+void Runtime::reblock_on_lost_inputs_locked(TaskRecord& task) {
+  task.state = TaskState::kPending;
+  task.pending = 0;
+  for (const ParamBinding& binding : task.bindings) {
+    if (binding.direction == Direction::kOut) continue;
+    VersionRecord& version = data_.at(binding.data).versions[binding.read_version];
+    if (version.ready) continue;
+    if (version.writer == kNoTask || version.cancelled) {
+      // Initial data lost with a node, or a released datum: unrecoverable.
+      if (fatal_error_.empty()) {
+        fatal_error_ = "recovery failed: input of task '" + task.name + "' is unrecoverable";
+      }
+      completion_cv_.notify_all();
+      return;
+    }
+    replay_task_locked(version.writer);
+    if (!version.ready) {
+      TaskRecord& producer = *tasks_[version.writer - 1];
+      if (std::find(producer.successors.begin(), producer.successors.end(), task.id) ==
+          producer.successors.end()) {
+        producer.successors.push_back(task.id);
+      }
+      ++task.pending;
+    }
+  }
+  if (task.pending == 0) enqueue_ready(task.id);
+}
+
+void Runtime::crash_node(std::size_t node_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node_index >= node_runtime_.size()) throw std::out_of_range("crash_node: bad node index");
+  node_runtime_[node_index]->crashed = true;
+  scheduler_cv_.notify_all();
+  monitor_cv_.notify_all();
+}
+
+RecoveryReport Runtime::recovery() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RecoveryReport report = recovery_;
+  if (faults_) report.faults_injected = faults_->injected_count();
+  return report;
 }
 
 std::any Runtime::sync(DataHandle handle) {
@@ -847,10 +1300,19 @@ std::any Runtime::sync(DataHandle handle) {
     }
   }
   synced_data_.insert(handle.id);
-  completion_cv_.wait(lock, [&] {
+  // Manual wait loop instead of a predicate wait: a synced version can
+  // transition ready -> lost (its only replica died with a node) while the
+  // master sleeps. Re-trigger the lineage replay of its completed producer.
+  while (true) {
     const VersionRecord& version = it->second.versions[latest];
-    return version.ready || version.cancelled || !fatal_error_.empty();
-  });
+    if (version.ready || version.cancelled || !fatal_error_.empty()) break;
+    if (version.writer != kNoTask &&
+        tasks_[version.writer - 1]->state == TaskState::kCompleted) {
+      replay_task_locked(version.writer);
+      continue;  // replay may have restored it synchronously (checkpoint)
+    }
+    completion_cv_.wait(lock);
+  }
   VersionRecord& version = it->second.versions[latest];
   if (!version.ready) {
     if (!fatal_error_.empty()) throw WorkflowError(fatal_error_);
@@ -981,6 +1443,11 @@ Trace Runtime::trace() const {
     t.checkpoint_ns = task->checkpoint_ns;
     t.deps.assign(task->trace_deps.begin(), task->trace_deps.end());
     t.from_checkpoint = task->from_checkpoint;
+    t.attempts = task->attempts;
+    t.node_failures = task->node_failures;
+    t.speculated = task->speculated;
+    t.error = task->error;
+    t.cancelled_by = task->cancelled_by;
     traces.push_back(std::move(t));
   }
   return Trace(std::move(traces));

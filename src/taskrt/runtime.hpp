@@ -50,6 +50,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/status.hpp"
 #include "taskrt/checkpoint.hpp"
 #include "taskrt/trace.hpp"
@@ -94,7 +95,16 @@ class TaskContext {
 
   /// Burns wall-clock time to model a compute phase of the given duration
   /// (used by benches to give tasks realistic, configurable costs).
+  /// Returns early when the attempt is cancelled (deadline kill, losing
+  /// speculative copy, node death) — see cancelled().
   void simulate_compute(std::chrono::nanoseconds duration) const;
+
+  /// Whether the runtime asked this attempt to stop (its result would be
+  /// discarded anyway). Long-running bodies may poll this to exit early;
+  /// ignoring it is safe — stale results are dropped at commit.
+  bool cancelled() const {
+    return cancel_flag_ != nullptr && cancel_flag_->load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Runtime;
@@ -113,6 +123,7 @@ class TaskContext {
   std::vector<Slot> outputs_;      // indexed like params_; used for OUT/INOUT
   mutable std::vector<Access> access_;  // indexed like params_; verifier only
   verify::Verifier* verifier_ = nullptr;  // non-null when verification is on
+  std::shared_ptr<std::atomic<bool>> cancel_flag_;  // per-attempt stop request
   int node_ = -1;
   TaskId task_id_ = 0;
   std::string name_;
@@ -156,6 +167,28 @@ struct RuntimeOptions {
   /// execution; they surface through logs, metrics, verify_report() and the
   /// CLIMATE_VERIFY_REPORT JSON-lines file.
   VerifyMode verify = VerifyMode::kAuto;
+
+  /// Fault injector driving the chaos hooks (task errors, node crashes,
+  /// slowdowns). When null, the runtime arms one from the CLIMATE_FAULTS
+  /// environment variable (unset = no injection).
+  std::shared_ptr<common::fault::Injector> faults;
+
+  /// Worker liveness: each idle worker stamps a heartbeat every
+  /// `heartbeat_interval_ms`; a node whose heartbeat is older than
+  /// `heartbeat_timeout_ms` with no task body in flight is declared dead
+  /// and its in-flight work and node-local data are recovered.
+  double heartbeat_interval_ms = 2.0;
+  double heartbeat_timeout_ms = 25.0;
+
+  /// Speculative straggler re-execution: a task running longer than
+  /// `speculation_factor` x the function's trailing mean (and at least
+  /// `speculation_min_ms`, with `speculation_min_samples` prior completions
+  /// of the function) gets a backup copy on another node; the first
+  /// finisher wins and the loser's attempt is cancelled.
+  bool speculation = false;
+  double speculation_factor = 3.0;
+  double speculation_min_ms = 5.0;
+  int speculation_min_samples = 3;
 };
 
 /// Thrown by sync()/wait_all() when the workflow failed (a task with the
@@ -218,6 +251,19 @@ class Runtime {
   /// Counters snapshot.
   RuntimeStats stats() const;
 
+  /// Fault/recovery accounting for this run (node failures, replays,
+  /// deadline kills, speculation). faults_injected reflects the attached
+  /// injector's log, all kinds included.
+  RecoveryReport recovery() const;
+
+  /// The armed fault injector (null when chaos is off).
+  const std::shared_ptr<common::fault::Injector>& fault_injector() const { return faults_; }
+
+  /// Chaos/test hook: marks a node as crashed, as if the fault injector had
+  /// fired on it — its workers stop draining, the in-flight attempts and
+  /// node-local data are lost, and the heartbeat monitor recovers them.
+  void crash_node(std::size_t node_index);
+
   /// Trace/graph snapshot (callable at any time; complete after wait_all).
   Trace trace() const;
 
@@ -260,6 +306,15 @@ class Runtime {
     std::size_t write_version = 0;  // valid for OUT/INOUT
   };
 
+  /// One in-flight execution attempt of a task. Several can be live at once
+  /// (speculative backups); the first non-superseded finisher commits.
+  struct AttemptInfo {
+    std::shared_ptr<std::atomic<bool>> cancel;  // stop request seen by the body
+    int node = -1;                              // executing node
+    std::int64_t start_ns = -1;                 // pickup stamp (deadline base)
+    bool backup = false;                        // speculative copy
+  };
+
   struct TaskRecord {
     TaskId id = 0;
     std::string name;
@@ -276,6 +331,12 @@ class Runtime {
     TaskState state = TaskState::kPending;
     int attempts = 0;
     int node = -1;
+    std::map<int, AttemptInfo> live_attempts;  // attempt index -> in-flight info
+    int node_failures = 0;         // attempts lost to dead nodes (not retries)
+    bool backup_pending = false;   // queued speculative copy awaiting pickup
+    bool speculated = false;       // a backup was ever launched
+    bool replaying = false;        // re-executing for data recovery
+    TaskId cancelled_by = kNoTask; // root failed task for cancellations
     std::int64_t submit_ns = 0;
     std::int64_t ready_ns = -1;      // dependencies satisfied (first time)
     std::int64_t queued_ns = -1;     // pushed onto a ready queue (re-stamped on retry)
@@ -286,20 +347,45 @@ class Runtime {
     std::int64_t checkpoint_ns = 0;  // checkpoint save time (after end_ns)
     bool from_checkpoint = false;
     std::string error;
-    std::vector<TaskContext::Slot> pending_outputs;  // staged between run and commit
+  };
+
+  /// Per-node liveness and chaos state (all fields guarded by mutex_; the
+  /// workers hold the lock whenever they touch them).
+  struct NodeRuntime {
+    std::int64_t heartbeat_ns = 0;  // last idle-loop stamp
+    bool crashed = false;           // injected crash: workers stop draining
+    bool dead = false;              // death detected and recovery done
+    int executing = 0;              // task bodies in flight on this node
+    std::int64_t pickups = 0;       // pickup ordinal (fault decision key)
   };
 
   // --- scheduling internals (mutex_ held unless stated) ---
   void enqueue_ready(TaskId id);
   void worker_loop(int node_index);
-  void execute_task(TaskId id, int node_index);
-  void finish_task(TaskId id, bool success, const std::string& error);
+  void monitor_loop();
+  void execute_task(TaskId id, int node_index, bool backup);
+  void finish_task(TaskId id, int attempt, int node_index, bool success, const std::string& error,
+                   std::vector<TaskContext::Slot> outputs, std::int64_t transfer_add_ns,
+                   std::int64_t body_ns);
+  void fail_task_locked(TaskRecord& task, const std::string& error);
   void complete_locked(TaskRecord& task);
-  void cancel_locked(TaskRecord& task);
-  void cancel_successors(TaskId id);
+  void cancel_locked(TaskRecord& task, TaskId cause, const std::string& reason);
+  void cancel_successors(TaskId id, const std::string& reason);
   void commit_outputs_from_checkpoint(TaskRecord& task, const std::vector<std::string>& blobs);
   int pick_node(const TaskRecord& task);
   bool node_eligible(int node_index, const TaskRecord& task) const;
+  bool node_alive_locked(std::size_t node_index) const {
+    return !node_runtime_[node_index]->crashed && !node_runtime_[node_index]->dead;
+  }
+  // --- node-failure recovery (mutex_ held) ---
+  void handle_node_death_locked(std::size_t node_index);
+  /// Restarts a completed task whose outputs were lost (checkpoint restore
+  /// or lineage re-execution, recursing into lost inputs). No-op unless the
+  /// task is kCompleted.
+  void replay_task_locked(TaskId id);
+  /// Re-blocks a task whose inputs are no longer ready: back to kPending,
+  /// producers replayed and re-registered as dependencies.
+  void reblock_on_lost_inputs_locked(TaskRecord& task);
   std::int64_t now_ns() const;
   verify::GraphView build_graph_view_locked() const;
   void lint_graph_locked(bool force = false);
@@ -307,6 +393,7 @@ class Runtime {
   RuntimeOptions options_;
   std::vector<NodeSpec> nodes_;
   std::optional<CheckpointStore> checkpoints_;
+  std::shared_ptr<common::fault::Injector> faults_;  // null = chaos off
 
   mutable std::mutex mutex_;
   std::condition_variable scheduler_cv_;   // wakes workers
@@ -322,7 +409,17 @@ class Runtime {
   DataId next_data_id_ = 1;
   std::size_t round_robin_cursor_ = 0;  // used when locality_aware is off
   RuntimeStats stats_;
+  RecoveryReport recovery_;
+  std::vector<std::unique_ptr<NodeRuntime>> node_runtime_;  // index = node
+  /// Trailing per-function body-time mean (speculation straggler baseline).
+  struct FnStat {
+    std::int64_t total_ns = 0;
+    std::int64_t count = 0;
+  };
+  std::map<std::string, FnStat> fn_stats_;
   std::vector<std::thread> workers_;
+  std::thread monitor_;                    // heartbeat/deadline/straggler watchdog
+  std::condition_variable monitor_cv_;     // wakes the monitor early
 
   // --- verifier state (null/empty when verification is off) ---
   std::unique_ptr<verify::Verifier> verifier_;

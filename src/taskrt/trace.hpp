@@ -29,13 +29,21 @@ struct TaskTrace {
   std::int64_t submit_ns = 0;
   std::int64_t ready_ns = -1;   ///< All dependencies satisfied.
   std::int64_t queued_ns = -1;  ///< Pushed onto a node's ready queue (re-stamped on retry).
-  std::int64_t start_ns = -1;   ///< Dequeued by a worker; input staging begins.
+  std::int64_t start_ns = -1;   ///< Dequeued by a worker; input staging begins
+                                ///< (re-stamped on retry, like queued_ns).
   std::int64_t end_ns = -1;     ///< Outputs published (terminal stamp for failures too).
   std::int64_t transfer_ns = 0;   ///< Input staging + simulated interconnect time.
   std::int64_t exec_ns = 0;       ///< Task body time (summed over retry attempts).
   std::int64_t checkpoint_ns = 0; ///< Checkpoint save time (after end_ns).
   std::vector<TaskId> deps;  ///< Predecessor task ids.
   bool from_checkpoint = false;
+  int attempts = 0;          ///< Execution attempts (retries + speculative backups).
+  int node_failures = 0;     ///< Attempts lost to node crashes (not retries).
+  bool speculated = false;   ///< A straggler backup copy was launched.
+  /// Failure/cancellation reason. Cancelled tasks carry the structured
+  /// cause, e.g. "cancelled by failure of task 7 ('load_tmax')".
+  std::string error;
+  TaskId cancelled_by = kNoTask;  ///< Root failed task for cancellations.
 };
 
 /// Snapshot of a finished (or running) workflow's task graph and timings.

@@ -38,6 +38,8 @@ enum class DiagKind {
   kInNeverRead,          ///< IN declared but never read through the context.
   kAliasedParams,        ///< Same data handle bound to two params of one task.
   kSyncNeverWritten,     ///< sync() on a handle nothing wrote or will write.
+  kCancelledByFailure,   ///< Task cancelled by an upstream failure (note;
+                         ///< message carries the structured root cause).
   // --- graph lint (whole-DAG checks at sync/shutdown) ---
   kGraphCycle,           ///< Dependency cycle: the tasks can never run.
   kUnreachableTask,      ///< Task can never become ready (bad/cyclic deps).

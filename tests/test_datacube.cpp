@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "datacube/client.hpp"
 #include "datacube/server.hpp"
@@ -625,6 +626,88 @@ TEST(Server, MultiSessionStressIsConsistent) {
   EXPECT_EQ(server.list_cubes().size(), kSessions);  // the base cubes remain
   EXPECT_EQ(server.admission_snapshot().inflight, 0u);
   EXPECT_GE(server.admission_snapshot().admitted, kSessions * kRounds * 2);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos injection + client retry discipline
+// ---------------------------------------------------------------------------
+
+TEST(ClientRetry, AbsorbsInjectedFragmentFaults) {
+  Server server(2);
+  // The first two operator admissions fail with an injected UNAVAILABLE.
+  auto plan = common::fault::Plan::parse(
+      R"({"seed": 17, "rules": [{"kind": "fragment_error", "rate": 1.0, "max": 2}]})");
+  ASSERT_TRUE(plan.ok());
+  auto faults = std::make_shared<common::fault::Injector>(*plan);
+  server.set_fault_injector(faults);
+
+  Client client(server);
+  common::RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.base_delay_ms = 0.05;
+  retry.max_delay_ms = 0.5;
+  client.set_retry(retry);
+  auto cube = client.create_cube("m", {{"row", 2, {}}}, {"t", 3, {}}, {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(cube.ok());
+
+  // Both faults land on this one call; the retry layer absorbs them.
+  auto reduced = cube->reduce("max");
+  ASSERT_TRUE(reduced.ok()) << reduced.status().to_string();
+  EXPECT_EQ(*reduced->values(), (std::vector<float>{3, 6}));
+  const ClientRetryStats stats = client.retry_stats();
+  EXPECT_GE(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  EXPECT_EQ(faults->injected_count(), 2u);
+}
+
+TEST(ClientRetry, BreakerOpensUnderPersistentFaults) {
+  Server server(1);
+  auto plan = common::fault::Plan::parse(
+      R"({"seed": 4, "rules": [{"kind": "fragment_error", "rate": 1.0}]})");
+  ASSERT_TRUE(plan.ok());
+  server.set_fault_injector(std::make_shared<common::fault::Injector>(*plan));
+
+  Client client(server);
+  common::RetryOptions retry;
+  retry.max_attempts = 2;
+  retry.base_delay_ms = 0.05;
+  retry.max_delay_ms = 0.2;
+  common::CircuitBreaker::Options breaker;
+  breaker.failure_threshold = 3;
+  breaker.open_ms = 200.0;
+  client.set_retry(retry, breaker);
+  auto cube = client.create_cube("m", {{"row", 1, {}}}, {"t", 2, {}}, {1, 2});
+  ASSERT_TRUE(cube.ok());  // create_cube is not an operator: no admission gate
+
+  // Every operator call fails; the breaker opens after three exhausted calls.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cube->reduce("max").status().code(), common::StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(client.breaker_state(), common::CircuitBreaker::State::kOpen);
+  auto rejected = cube->reduce("max");
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("circuit breaker open"), std::string::npos)
+      << rejected.status().to_string();
+  const ClientRetryStats stats = client.retry_stats();
+  EXPECT_GE(stats.exhausted, 3u);
+  EXPECT_GE(stats.breaker_rejections, 1u);
+}
+
+TEST(ClientRetry, FragmentDelayOnlyAddsLatency) {
+  Server server(1);
+  auto plan = common::fault::Plan::parse(
+      R"({"seed": 8, "rules": [{"kind": "fragment_delay", "rate": 1.0, "delay_ms": 1}]})");
+  ASSERT_TRUE(plan.ok());
+  auto faults = std::make_shared<common::fault::Injector>(*plan);
+  server.set_fault_injector(faults);
+  Client client(server);
+  auto cube = client.create_cube("m", {{"row", 1, {}}}, {"t", 2, {}}, {4, 9});
+  ASSERT_TRUE(cube.ok());
+  auto reduced = cube->reduce("sum");
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(*reduced->values(), (std::vector<float>{13}));
+  EXPECT_GE(faults->injected_count(), 1u);
+  EXPECT_EQ(client.retry_stats().retries, 0u);  // delays are not failures
 }
 
 }  // namespace

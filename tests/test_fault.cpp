@@ -1,0 +1,338 @@
+// Units for the chaos layer (common/fault.hpp) and the shared retry
+// discipline (common/retry.hpp): plan parsing, deterministic replay of the
+// injection log, target matching, backoff/budget behaviour and the circuit
+// breaker's state machine.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/retry.hpp"
+
+namespace climate::common {
+namespace {
+
+using fault::Injector;
+using fault::Kind;
+using fault::Plan;
+using fault::Rule;
+
+TEST(FaultPlan, ParsesFromJson) {
+  auto plan = Plan::parse(R"({"seed": 42, "rules": [
+    {"kind": "task_error", "rate": 0.05},
+    {"kind": "node_crash", "target": "node1", "at": 3},
+    {"kind": "dls_error", "rate": 1.0, "max": 2},
+    {"kind": "fragment_delay", "rate": 0.1, "delay_ms": 2.5}]})");
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->rules.size(), 4u);
+  EXPECT_EQ(plan->rules[0].kind, Kind::kTaskError);
+  EXPECT_DOUBLE_EQ(plan->rules[0].rate, 0.05);
+  EXPECT_EQ(plan->rules[1].kind, Kind::kNodeCrash);
+  EXPECT_EQ(plan->rules[1].target, "node1");
+  EXPECT_EQ(plan->rules[1].at, 3);
+  EXPECT_EQ(plan->rules[2].max_injections, 2);
+  EXPECT_DOUBLE_EQ(plan->rules[3].delay_ms, 2.5);
+}
+
+TEST(FaultPlan, RejectsUnknownKind) {
+  auto plan = Plan::parse(R"({"rules": [{"kind": "meteor_strike"}]})");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(FaultPlan, RoundTripsThroughJson) {
+  auto plan = Plan::parse(R"({"seed": 7, "rules": [
+    {"kind": "step_error", "target": "esm*", "rate": 0.5, "max": 3, "delay_ms": 1}]})");
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = Plan::from_json(plan->to_json());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed->seed, 7u);
+  ASSERT_EQ(reparsed->rules.size(), 1u);
+  EXPECT_EQ(reparsed->rules[0].target, "esm*");
+  EXPECT_EQ(reparsed->rules[0].max_injections, 3);
+}
+
+TEST(FaultInjector, AtRuleFiresExactlyOnce) {
+  Plan plan;
+  plan.seed = 1;
+  Rule rule;
+  rule.kind = Kind::kNodeCrash;
+  rule.target = "node1";
+  rule.at = 3;
+  plan.rules.push_back(rule);
+  Injector injector(plan);
+  int fired = 0;
+  for (std::int64_t key = 0; key < 10; ++key) {
+    if (injector.fire(Kind::kNodeCrash, "node1", key)) ++fired;
+    EXPECT_FALSE(injector.fire(Kind::kNodeCrash, "node0", key));  // wrong target
+    EXPECT_FALSE(injector.fire(Kind::kTaskError, "node1", key));  // wrong kind
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(injector.injected_count(), 1u);
+}
+
+TEST(FaultInjector, PrefixTargetAndEmptyTargetMatch) {
+  Plan plan;
+  plan.seed = 1;
+  Rule prefix;
+  prefix.kind = Kind::kTaskError;
+  prefix.target = "load_*";
+  prefix.rate = 1.0;
+  plan.rules.push_back(prefix);
+  Injector injector(plan);
+  EXPECT_TRUE(injector.fire(Kind::kTaskError, "load_tmax", 0));
+  EXPECT_TRUE(injector.fire(Kind::kTaskError, "load_tmin", 1));
+  EXPECT_FALSE(injector.fire(Kind::kTaskError, "esm_simulation", 2));
+
+  Plan all;
+  all.seed = 1;
+  Rule any;
+  any.kind = Kind::kDlsError;
+  any.rate = 1.0;
+  all.rules.push_back(any);
+  Injector injector_all(all);
+  EXPECT_TRUE(injector_all.fire(Kind::kDlsError, "anything", 0));
+}
+
+TEST(FaultInjector, RateIsStatisticallyHonoured) {
+  Plan plan;
+  plan.seed = 99;
+  Rule rule;
+  rule.kind = Kind::kTaskError;
+  rule.rate = 0.2;
+  plan.rules.push_back(rule);
+  Injector injector(plan);
+  int fired = 0;
+  const int trials = 10000;
+  for (std::int64_t key = 0; key < trials; ++key) {
+    if (injector.fire(Kind::kTaskError, "victim", key)) ++fired;
+  }
+  // Binomial(10000, 0.2): mean 2000, sigma 40 — a 5-sigma band.
+  EXPECT_GT(fired, 1800);
+  EXPECT_LT(fired, 2200);
+}
+
+TEST(FaultInjector, MaxInjectionsCapsFirings) {
+  Plan plan;
+  plan.seed = 5;
+  Rule rule;
+  rule.kind = Kind::kDlsError;
+  rule.rate = 1.0;
+  rule.max_injections = 2;
+  plan.rules.push_back(rule);
+  Injector injector(plan);
+  int fired = 0;
+  for (std::int64_t key = 0; key < 10; ++key) {
+    if (injector.fire(Kind::kDlsError, "pipe", key)) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FaultInjector, SameSeedSamePlanSameEventLog) {
+  auto plan = Plan::parse(R"({"seed": 1234, "rules": [
+    {"kind": "task_error", "rate": 0.3},
+    {"kind": "fragment_error", "target": "reduce", "rate": 0.5},
+    {"kind": "node_slowdown", "rate": 0.1, "delay_ms": 1}]})");
+  ASSERT_TRUE(plan.ok());
+
+  // Drive the same decision stream through two injectors from several
+  // threads each; the canonical event logs must match exactly.
+  auto drive = [](Injector& injector) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&injector, t] {
+        for (std::int64_t key = t; key < 400; key += 4) {
+          (void)injector.fire(Kind::kTaskError, "task" + std::to_string(key % 7), key);
+          (void)injector.fire(Kind::kFragmentError, key % 2 ? "reduce" : "apply", key);
+          (void)injector.fire(Kind::kNodeSlowdown, "node" + std::to_string(key % 3), key);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    return injector.event_log();
+  };
+
+  Injector a(*plan);
+  Injector b(*plan);
+  const std::vector<std::string> log_a = drive(a);
+  const std::vector<std::string> log_b = drive(b);
+  EXPECT_GT(log_a.size(), 0u);
+  EXPECT_EQ(log_a, log_b);
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  Rule rule;
+  rule.kind = Kind::kTaskError;
+  rule.rate = 0.5;
+  Plan plan_a{1, {rule}};
+  Plan plan_b{2, {rule}};
+  Injector a(plan_a);
+  Injector b(plan_b);
+  for (std::int64_t key = 0; key < 200; ++key) {
+    (void)a.fire(Kind::kTaskError, "victim", key);
+    (void)b.fire(Kind::kTaskError, "victim", key);
+  }
+  EXPECT_NE(a.event_log(), b.event_log());
+}
+
+TEST(FaultInjector, FromEnvParsesInlineJson) {
+  ::setenv("CLIMATE_FAULTS_TEST", R"({"seed": 3, "rules": [{"kind": "task_error", "rate": 1}]})",
+           1);
+  auto injector = Injector::from_env("CLIMATE_FAULTS_TEST");
+  ASSERT_NE(injector, nullptr);
+  EXPECT_EQ(injector->plan().seed, 3u);
+  EXPECT_TRUE(injector->fire(Kind::kTaskError, "x", 0));
+  ::unsetenv("CLIMATE_FAULTS_TEST");
+  EXPECT_EQ(Injector::from_env("CLIMATE_FAULTS_TEST"), nullptr);
+}
+
+// ---- retry.hpp -------------------------------------------------------------
+
+TEST(Retry, BackoffIsDeterministicAndBounded) {
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.base_delay_ms = 1.0;
+  options.max_delay_ms = 8.0;
+  options.budget_ms = 1000.0;
+  options.jitter_seed = 77;
+  Backoff a(options);
+  Backoff b(options);
+  int delays = 0;
+  for (;;) {
+    auto da = a.next_delay_ms();
+    auto db = b.next_delay_ms();
+    ASSERT_EQ(da.has_value(), db.has_value());
+    if (!da.has_value()) break;
+    EXPECT_DOUBLE_EQ(*da, *db);  // same seed, same schedule
+    EXPECT_GE(*da, options.base_delay_ms);
+    EXPECT_LE(*da, options.max_delay_ms);
+    ++delays;
+  }
+  EXPECT_EQ(delays, options.max_attempts - 1);
+}
+
+TEST(Retry, BackoffRespectsBudget) {
+  RetryOptions options;
+  options.max_attempts = 1000;
+  options.base_delay_ms = 4.0;
+  options.max_delay_ms = 50.0;
+  options.budget_ms = 20.0;
+  Backoff backoff(options);
+  while (backoff.next_delay_ms().has_value()) {
+  }
+  EXPECT_LE(backoff.slept_ms(), options.budget_ms);
+}
+
+TEST(Retry, RetryCallSucceedsAfterTransientFailures) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.base_delay_ms = 0.01;
+  options.max_delay_ms = 0.1;
+  int calls = 0;
+  RetryStats stats;
+  Status outcome = retry_call(
+      [&]() -> Status {
+        return ++calls < 3 ? Status::Unavailable("busy") : Status::Ok();
+      },
+      options, transient_status, &stats);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_FALSE(stats.exhausted);
+}
+
+TEST(Retry, RetryCallDoesNotRetryPermanentErrors) {
+  int calls = 0;
+  RetryStats stats;
+  Status outcome = retry_call(
+      [&]() -> Status {
+        ++calls;
+        return Status::InvalidArgument("bad request");
+      },
+      RetryOptions{}, transient_status, &stats);
+  EXPECT_EQ(outcome.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(stats.exhausted);
+}
+
+TEST(Retry, RetryCallReportsExhaustion) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.base_delay_ms = 0.01;
+  options.max_delay_ms = 0.05;
+  int calls = 0;
+  RetryStats stats;
+  Status outcome = retry_call([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("still down");
+  }, options, transient_status, &stats);
+  EXPECT_EQ(outcome.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(stats.exhausted);
+}
+
+TEST(Retry, RetryCallWorksWithResult) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.base_delay_ms = 0.01;
+  int calls = 0;
+  Result<int> outcome = retry_call(
+      [&]() -> Result<int> {
+        if (++calls < 2) return Status::Unavailable("warming up");
+        return 42;
+      },
+      options, transient_status, nullptr);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Retry, CircuitBreakerOpensAfterConsecutiveFailures) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.open_ms = 10.0;
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_failure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());  // fails fast while open
+}
+
+TEST(Retry, CircuitBreakerHalfOpensAndCloses) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  options.open_ms = 5.0;
+  options.half_open_probes = 1;
+  CircuitBreaker breaker(options);
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  EXPECT_TRUE(breaker.allow());  // the half-open probe
+  EXPECT_FALSE(breaker.allow());  // only one probe per window
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(Retry, CircuitBreakerReopensOnFailedProbe) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_ms = 5.0;
+  CircuitBreaker breaker(options);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();  // the probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+}
+
+}  // namespace
+}  // namespace climate::common

@@ -376,6 +376,82 @@ TEST(Orchestrator, DeploysCaseStudyTopology) {
   }
 }
 
+// Transient step failures (injected DLS transfer faults) are retried with
+// backoff; DeploymentStep::attempts records the tries and surfaces them in
+// the step detail.
+TEST(Orchestrator, RetriesTransientStepFailures) {
+  ContainerImageService images;
+  DataLogisticsService dls;
+  DataPipeline pipeline;
+  pipeline.name = "forcing_stage_in";
+  // One real step so the DLS injector has a decision point to veto.
+  DataStep verify_step;
+  verify_step.kind = DataStep::Kind::kVerify;
+  const std::string probe = (fs::temp_directory_path() / "dls_probe.txt").string();
+  std::ofstream(probe) << "payload";
+  verify_step.source = probe;
+  pipeline.steps.push_back(verify_step);
+  dls.register_pipeline(pipeline);
+
+  // First two pipeline runs fail with an injected transfer fault.
+  auto plan = common::fault::Plan::parse(
+      R"({"seed": 9, "rules": [{"kind": "dls_error", "rate": 1.0, "max": 2}]})");
+  ASSERT_TRUE(plan.ok());
+  auto faults = std::make_shared<common::fault::Injector>(*plan);
+  dls.set_fault_injector(faults);
+
+  Orchestrator orchestrator(images, dls);
+  common::RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.base_delay_ms = 0.05;
+  retry.max_delay_ms = 0.5;
+  orchestrator.set_retry(retry);
+  auto topology = parse_topology(core::case_study_topology_yaml());
+  ASSERT_TRUE(topology.ok());
+  const Deployment deployment = orchestrator.deploy(*topology);
+  ASSERT_TRUE(deployment.ok()) << deployment.steps.back().status.to_string();
+  EXPECT_EQ(faults->injected_count(), 2u);
+
+  const DeploymentStep* dls_step = nullptr;
+  for (const DeploymentStep& step : deployment.steps) {
+    if (step.kind == NodeKind::kDataPipeline) dls_step = &step;
+  }
+  ASSERT_NE(dls_step, nullptr);
+  EXPECT_EQ(dls_step->attempts, 3);  // two injected faults + the success
+  EXPECT_NE(dls_step->detail.find("[3 attempts]"), std::string::npos) << dls_step->detail;
+  fs::remove(probe);
+}
+
+// Injected deployment-step faults exhaust the retry budget and fail the
+// deployment; attempts are still recorded.
+TEST(Orchestrator, StepErrorExhaustionFailsDeployment) {
+  ContainerImageService images;
+  DataLogisticsService dls;
+  DataPipeline pipeline;
+  pipeline.name = "forcing_stage_in";
+  dls.register_pipeline(pipeline);
+
+  auto plan = common::fault::Plan::parse(
+      R"({"seed": 3, "rules": [{"kind": "step_error", "target": "esm_environment", "rate": 1.0}]})");
+  ASSERT_TRUE(plan.ok());
+  Orchestrator orchestrator(images, dls);
+  orchestrator.set_fault_injector(std::make_shared<common::fault::Injector>(*plan));
+  common::RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.base_delay_ms = 0.05;
+  retry.max_delay_ms = 0.2;
+  orchestrator.set_retry(retry);
+
+  auto topology = parse_topology(core::case_study_topology_yaml());
+  ASSERT_TRUE(topology.ok());
+  const Deployment deployment = orchestrator.deploy(*topology);
+  EXPECT_FALSE(deployment.ok());
+  const DeploymentStep& failed = deployment.steps.back();
+  EXPECT_EQ(failed.node, "esm_environment");
+  EXPECT_EQ(failed.status.code(), common::StatusCode::kUnavailable);
+  EXPECT_EQ(failed.attempts, 3);
+}
+
 TEST(Orchestrator, FailsOnMissingPipeline) {
   ContainerImageService images;
   DataLogisticsService dls;  // pipeline NOT registered

@@ -142,6 +142,87 @@ TEST(Failures, CancelSuccessorsLeavesSiblingsRunning) {
   EXPECT_THROW(rt.sync(downstream_bad), WorkflowError);
 }
 
+// Trace contract under retries (taskrt/trace.hpp): exec_ns accumulates the
+// body time of every attempt, and queued_ns is re-stamped on each re-enqueue
+// so queue-wait attribution reflects the final attempt.
+TEST(Failures, RetryTraceSumsExecAndRestampsQueued) {
+  Runtime rt;
+  DataHandle out = rt.create_data();
+  TaskOptions options;
+  options.on_failure = FailurePolicy::kRetry;
+  options.max_retries = 3;
+  std::atomic<int> attempts{0};
+  const TaskId id = rt.submit("flaky_timed", options, {Out(out)}, [&](TaskContext& ctx) {
+    ctx.simulate_compute(std::chrono::milliseconds(5));
+    if (attempts.fetch_add(1) < 2) throw std::runtime_error("transient");
+    ctx.set_out(0, std::any(4));
+  });
+  EXPECT_EQ(rt.sync_as<int>(out), 4);
+  rt.wait_all();
+  const Trace trace = rt.trace();
+  const TaskTrace* flaky = nullptr;
+  for (const TaskTrace& task : trace.tasks()) {
+    if (task.id == id) flaky = &task;
+  }
+  ASSERT_NE(flaky, nullptr);
+  EXPECT_EQ(flaky->attempts, 3);
+  // Three bodies of ~5 ms each must be summed, not last-attempt-only.
+  EXPECT_GE(flaky->exec_ns, 12'000'000);
+  // queued_ns was re-stamped on the final re-enqueue, which happened after
+  // the first two ~5 ms bodies — well past the original submit stamp.
+  EXPECT_GE(flaky->queued_ns - flaky->submit_ns, 8'000'000);
+  // start_ns tracks the final attempt's dequeue, so it follows queued_ns.
+  EXPECT_GE(flaky->start_ns, flaky->queued_ns);
+}
+
+// kCancelSuccessors propagates a structured reason: every transitively
+// cancelled task names the root failed task in its trace record and the
+// verifier report.
+TEST(Failures, CancelSuccessorsCarriesStructuredReason) {
+  RuntimeOptions rt_options;
+  rt_options.verify = VerifyMode::kOn;
+  Runtime rt(rt_options);
+  DataHandle bad = rt.create_data();
+  DataHandle mid = rt.create_data();
+  DataHandle leaf = rt.create_data();
+  TaskOptions options;
+  options.on_failure = FailurePolicy::kCancelSuccessors;
+  const TaskId bad_id = rt.submit("bad_root", options, {Out(bad)},
+                                  [](TaskContext&) { throw std::runtime_error("root dead"); });
+  const TaskId mid_id = rt.submit("mid_child", {In(bad), Out(mid)},
+                                  [](TaskContext& ctx) { ctx.set_out(1, std::any(1)); });
+  const TaskId leaf_id = rt.submit("leaf_child", {In(mid), Out(leaf)},
+                                   [](TaskContext& ctx) { ctx.set_out(1, std::any(1)); });
+  rt.wait_all();  // not fatal
+  EXPECT_EQ(rt.task_state(bad_id), TaskState::kFailed);
+
+  const Trace trace = rt.trace();
+  int cancelled_with_reason = 0;
+  for (const TaskTrace& task : trace.tasks()) {
+    if (task.id != mid_id && task.id != leaf_id) continue;
+    EXPECT_EQ(task.state, TaskState::kCancelled);
+    // Both carry the ROOT cause (bad_root), not just their direct parent.
+    EXPECT_EQ(task.cancelled_by, bad_id);
+    EXPECT_NE(task.error.find("cancelled by failure of task " + std::to_string(bad_id)),
+              std::string::npos)
+        << task.error;
+    EXPECT_NE(task.error.find("bad_root"), std::string::npos) << task.error;
+    ++cancelled_with_reason;
+  }
+  EXPECT_EQ(cancelled_with_reason, 2);
+
+  // The verifier report mirrors the cancellation cause as notes.
+  int cancel_notes = 0;
+  const verify::Report report = rt.verify_report();
+  for (const verify::Diagnostic& diag : report.diagnostics()) {
+    if (diag.kind == verify::DiagKind::kCancelledByFailure) {
+      EXPECT_NE(diag.message.find("cancelled by failure of task"), std::string::npos);
+      ++cancel_notes;
+    }
+  }
+  EXPECT_EQ(cancel_notes, 2);
+}
+
 TEST(Failures, SubmitOnCancelledDataCancelsNewTask) {
   Runtime rt;
   DataHandle bad = rt.create_data();
